@@ -1,0 +1,88 @@
+"""Ablation benchmarks for the design choices DESIGN.md §3 calls out.
+
+Not paper figures — these quantify the knobs the reproduction had to fix:
+routing strategy, inactive-cache size, ONBR's threshold factor, the
+constant-β assumption, and demand correlation in the §II-D mobility model.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+@pytest.mark.figure("abl-routing")
+def test_ablation_routing(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(sizes=(50, 100, 200), horizon=300, runs=5)
+    else:
+        params = dict(sizes=(50, 100), horizon=200, runs=3)
+    result = run_once(benchmark, lambda: ablations.ablation_routing(**params))
+    figure_report(result)
+    # load-aware routing never loses under convex load
+    assert sum(result.y("load-aware")) <= sum(result.y("nearest")) * 1.02
+
+
+@pytest.mark.figure("abl-cache")
+def test_ablation_cache_size(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(cache_sizes=(1, 2, 3, 5, 8), n=200, horizon=500, runs=5)
+    else:
+        params = dict(cache_sizes=(1, 3, 8), n=100, horizon=300, runs=3)
+    result = run_once(benchmark, lambda: ablations.ablation_cache_size(**params))
+    figure_report(result)
+    for name in result.series_names:
+        assert all(np.isfinite(result.y(name)))
+
+
+@pytest.mark.figure("abl-threshold")
+def test_ablation_threshold(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(factors=(0.5, 1.0, 2.0, 4.0, 8.0), n=200, horizon=500, runs=5)
+    else:
+        params = dict(factors=(0.5, 2.0, 8.0), n=100, horizon=300, runs=3)
+    result = run_once(benchmark, lambda: ablations.ablation_threshold(**params))
+    figure_report(result)
+    assert all(v > 0 for v in result.y("ONBR total"))
+
+
+@pytest.mark.figure("abl-migration")
+def test_ablation_migration_model(benchmark, bench_scale, figure_report):
+    runs = 5 if bench_scale == "paper" else 3
+    result = run_once(
+        benchmark, lambda: ablations.ablation_migration_model(runs=runs)
+    )
+    figure_report(result)
+    for name in result.series_names:
+        assert result.y(name)[0] > 0
+
+
+@pytest.mark.figure("abl-mobility")
+def test_ablation_mobility_correlation(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(correlations=(0.0, 0.25, 0.5, 0.75, 1.0), n=100,
+                      horizon=400, runs=5)
+    else:
+        params = dict(correlations=(0.0, 0.5, 1.0), n=60, horizon=250, runs=3)
+    result = run_once(
+        benchmark, lambda: ablations.ablation_mobility_correlation(**params)
+    )
+    figure_report(result)
+    ratios = result.y("OFFSTAT/ONTH")
+    assert all(np.isfinite(ratios))
+
+
+@pytest.mark.figure("abl-beta")
+def test_ablation_beta_over_c(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(ratios=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 10.0), n=100,
+                      horizon=400, runs=5)
+    else:
+        params = dict(ratios=(0.1, 0.5, 1.0, 10.0), n=60, horizon=250, runs=3)
+    result = run_once(benchmark, lambda: ablations.ablation_beta_over_c(**params))
+    figure_report(result)
+    migrations = result.y("migrations")
+    assert migrations[-1] == 0.0          # β > c: never migrate (§II-C)
+    assert migrations[0] > 0              # cheap β: migration is used
+    assert migrations[0] >= migrations[-2]  # usage tapers as β/c grows

@@ -1,0 +1,32 @@
+"""Figure 1: exemplary ONTH execution, commuter scenario with dynamic load.
+
+Paper caption: 1000 rounds, T = 14, network size 1000, λ = 20; linear and
+quadratic load functions. Expected shape: the number of active servers
+tracks the demand fan-out, and the quadratic load model allocates more
+servers than the linear one.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig01")
+def test_fig01_onth_trajectory_dynamic(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(n=1000, period=14, sojourn=20, horizon=1000, sample_every=25)
+    else:
+        params = dict(n=300, period=10, sojourn=10, horizon=400, sample_every=10)
+    result = run_once(benchmark, lambda: figures.figure01(**params))
+    figure_report(result)
+
+    linear = result.series["servers (linear load)"]
+    quadratic = result.series["servers (quadratic load)"]
+    demand = result.series["requests/round"]
+    # shape: quadratic load provisions at least as many servers at peak
+    assert max(quadratic) >= max(linear)
+    # shape: server count rises above its start as the demand fans out
+    assert max(linear) > linear[0]
+    # shape: demand actually swings (dynamic load)
+    assert max(demand) > min(demand)

@@ -1,0 +1,38 @@
+"""Figure 2: exemplary ONTH execution, commuter scenario with static load.
+
+Paper caption: 1000 rounds, T = 12, network size 500, λ = 20. Expected
+shape: the system converges quickly to a server count that is roughly
+independent of how many access points the (fixed-volume) demand spreads
+over, and quadratic load needs more servers.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig02")
+def test_fig02_onth_trajectory_static(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(n=500, period=12, sojourn=20, horizon=1000, sample_every=25)
+    else:
+        params = dict(n=200, period=10, sojourn=10, horizon=400, sample_every=10)
+    result = run_once(benchmark, lambda: figures.figure02(**params))
+    figure_report(result)
+
+    linear = np.asarray(result.series["servers (linear load)"])
+    quadratic = np.asarray(result.series["servers (quadratic load)"])
+    demand = np.asarray(result.series["requests/round"])
+    # static load: constant volume per round
+    assert np.unique(demand).size == 1
+    # quadratic load requires more servers (paper's explicit claim)
+    assert quadratic.max() >= linear.max()
+    # steady state: the two halves have the same server-count profile (the
+    # count follows the daily spread cycle but does not drift; see
+    # EXPERIMENTS.md for the divergence note vs the paper's flat profile)
+    half = linear.size // 2
+    first, second = linear[:half], linear[half: 2 * half]
+    assert abs(first.mean() - second.mean()) <= 0.35 * max(first.mean(), 1.0)
+    assert second.max() <= linear.max()

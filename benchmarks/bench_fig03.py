@@ -1,0 +1,29 @@
+"""Figure 3: algorithm cost vs network size, commuter dynamic load.
+
+Paper caption: runtime 500 rounds, λ = 10, averaged over 5 runs; T grows
+with network size. Expected shape: ONTH has lower total cost than both
+ONBR variants (its cost grows slightly faster with n, but stays below).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig03")
+def test_fig03_cost_vs_size_dynamic(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(sizes=(100, 200, 400, 700, 1000), horizon=500, sojourn=10, runs=5)
+    else:
+        params = dict(sizes=(50, 100, 200, 400), horizon=300, sojourn=10, runs=3)
+    result = run_once(benchmark, lambda: figures.figure03(**params))
+    figure_report(result)
+
+    onth = sum(result.y("ONTH"))
+    onbr = sum(result.y("ONBR-fixed"))
+    assert onth <= onbr * 1.05  # ONTH wins overall
+    # cost grows with network size for every algorithm
+    for name in result.series_names:
+        ys = result.y(name)
+        assert ys[-1] > ys[0]

@@ -1,0 +1,20 @@
+"""Figure 5: like Figure 3 but for the time zone scenario (p = 50%)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig05")
+def test_fig05_cost_vs_size_timezones(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(sizes=(100, 200, 400, 700, 1000), horizon=500, sojourn=10, runs=5)
+    else:
+        params = dict(sizes=(50, 100, 200, 400), horizon=300, sojourn=10, runs=3)
+    result = run_once(benchmark, lambda: figures.figure05(**params))
+    figure_report(result)
+
+    assert sum(result.y("ONTH")) <= sum(result.y("ONBR-fixed")) * 1.05
+    for name in result.series_names:
+        assert result.y(name)[-1] > result.y(name)[0]

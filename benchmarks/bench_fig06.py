@@ -1,0 +1,34 @@
+"""Figure 6: ONBR cost components vs network size in the β=400 > c=40 regime.
+
+Paper caption: runtime 500 rounds, λ = 10, β = 400, c = 40, 5 runs.
+Expected shape: the access cost dominates the total and grows with n;
+migration+creation stays the small component (and contains no migrations
+at all, since β > c makes them never beneficial).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig06")
+def test_fig06_onbr_cost_breakdown(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(sizes=(100, 200, 400, 700, 1000), horizon=500, sojourn=10, runs=5)
+    else:
+        params = dict(sizes=(50, 100, 200, 400), horizon=300, sojourn=10, runs=3)
+    result = run_once(benchmark, lambda: figures.figure06(**params))
+    figure_report(result)
+
+    access = result.y("access")
+    moves = result.y("migration+creation")
+    running = result.y("running")
+    total = result.y("total")
+    # access dominates at the largest size and grows with n
+    assert access[-1] > access[0]
+    assert access[-1] > running[-1]
+    assert access[-1] > moves[-1]
+    # components sum to the total at every point
+    for i in range(len(total)):
+        assert access[i] + running[i] + moves[i] == pytest.approx(total[i])

@@ -1,0 +1,27 @@
+"""Figure 7: cost vs T in the commuter scenario with static load.
+
+Paper caption: runtime 600 rounds, λ = 20, network size 1000, 10 runs.
+Expected shape: cost increases slightly with T (larger request horizon),
+and ONTH yields the best performance throughout.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig07")
+def test_fig07_cost_vs_period(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(periods=(4, 6, 8, 10, 12, 14, 16), n=1000, horizon=600,
+                      sojourn=20, runs=10)
+    else:
+        params = dict(periods=(4, 8, 12), n=300, horizon=300, sojourn=10, runs=3)
+    result = run_once(benchmark, lambda: figures.figure07(**params))
+    figure_report(result)
+
+    assert sum(result.y("ONTH")) <= sum(result.y("ONBR-fixed")) * 1.05
+    # cost rises with T (the volume 2^(T/2) grows with the day length)
+    for name in result.series_names:
+        assert result.y(name)[-1] > result.y(name)[0]

@@ -1,0 +1,29 @@
+"""Figure 8: cost vs λ, commuter scenario with dynamic load.
+
+Paper caption: runtime 900 rounds, T = 10, network size 200, 10 runs.
+Expected shape: total cost roughly independent of λ, with ONTH better
+than the ONBR variants by a factor around two.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig08")
+def test_fig08_cost_vs_lambda_dynamic(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(lambdas=(1, 2, 5, 10, 20, 50), n=200, period=10,
+                      horizon=900, runs=10)
+    else:
+        params = dict(lambdas=(1, 5, 20, 50), n=100, period=8, horizon=400, runs=3)
+    result = run_once(benchmark, lambda: figures.figure08(**params))
+    figure_report(result)
+
+    assert sum(result.y("ONTH")) <= sum(result.y("ONBR-fixed")) * 1.05
+    # roughly λ-independent: spread within 3x of the mean for each series
+    for name in result.series_names:
+        ys = np.asarray(result.y(name))
+        assert ys.max() <= 3.0 * ys.mean()

@@ -1,0 +1,23 @@
+"""Figure 9: cost vs λ, commuter scenario with static load (as Figure 8)."""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig09")
+def test_fig09_cost_vs_lambda_static(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(lambdas=(1, 2, 5, 10, 20, 50), n=200, period=10,
+                      horizon=900, runs=10)
+    else:
+        params = dict(lambdas=(1, 5, 20, 50), n=100, period=8, horizon=400, runs=3)
+    result = run_once(benchmark, lambda: figures.figure09(**params))
+    figure_report(result)
+
+    assert sum(result.y("ONTH")) <= sum(result.y("ONBR-fixed")) * 1.05
+    for name in result.series_names:
+        ys = np.asarray(result.y(name))
+        assert ys.max() <= 3.0 * ys.mean()

@@ -1,0 +1,28 @@
+"""Figure 10: cost vs λ, time zone scenario with p = 50%.
+
+Paper caption: runtime 900 rounds, T = 10, network size 200, 10 runs.
+Expected shape: total cost decreases slightly with λ (fewer migrations
+needed when hotspots dwell longer); ONTH best.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig10")
+def test_fig10_cost_vs_lambda_timezones(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(lambdas=(1, 2, 5, 10, 20, 50), n=200, period=10,
+                      horizon=900, runs=10)
+    else:
+        params = dict(lambdas=(1, 5, 20, 50), n=100, period=8, horizon=400, runs=3)
+    result = run_once(benchmark, lambda: figures.figure10(**params))
+    figure_report(result)
+
+    assert sum(result.y("ONTH")) <= sum(result.y("ONBR-fixed")) * 1.05
+    # mild downward trend for ONTH: last point no dearer than the first
+    onth = result.y("ONTH")
+    assert onth[-1] <= onth[0] * 1.15

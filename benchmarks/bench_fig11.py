@@ -1,0 +1,26 @@
+"""Figure 11: ONTH/OPT competitive ratio vs λ on 5-node (line) networks.
+
+Paper caption: runtime 200 rounds, five nodes, 10 runs. Expected shape:
+ratios are fairly low in all scenarios; the static-load commuter scenario
+peaks at an intermediate λ.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_onth_vs_opt(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(lambdas=(1, 2, 5, 10, 20, 50, 100, 200), runs=10)
+    else:
+        params = dict(lambdas=(1, 5, 20, 50, 100, 200), runs=5)
+    result = run_once(benchmark, lambda: figures.figure11(**params))
+    figure_report(result)
+
+    for name in result.series_names:
+        ys = result.y(name)
+        assert all(v >= 1.0 - 1e-9 for v in ys)  # OPT is a true lower bound
+        assert max(ys) <= 5.0                    # "fairly low" ratios

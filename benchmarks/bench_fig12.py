@@ -1,0 +1,29 @@
+"""Figure 12: OFFSTAT's fleet-size selection curve.
+
+The paper's illustration of how the static baseline determines kopt: total
+cost as a function of the number of (greedily placed) static servers, with
+the minimum at kopt. Expected shape: a dip — going from 1 server to kopt
+reduces cost, and oversizing raises it again via running costs.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig12")
+def test_fig12_offstat_cost_curve(benchmark, bench_scale, figure_report):
+    if bench_scale == "paper":
+        params = dict(n=200, horizon=500, sojourn=10, max_servers=14)
+    else:
+        params = dict(n=100, horizon=300, sojourn=10, max_servers=10)
+    result = run_once(benchmark, lambda: figures.figure12(**params))
+    figure_report(result)
+
+    curve = np.asarray(result.y("total cost"))
+    kopt = int(np.argmin(curve)) + 1
+    assert curve.min() < curve[0]          # more than one server pays off
+    assert curve[-1] > curve.min()         # oversizing hurts
+    assert f"kopt = {kopt}" in result.notes

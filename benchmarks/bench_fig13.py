@@ -1,0 +1,23 @@
+"""Figure 13: absolute OFFSTAT and OPT costs vs λ (β = 40 < c = 400).
+
+Paper caption: commuter dynamic load, 200 rounds, 5-node network, T = 4,
+10 runs. Expected shape: costs fall as the system becomes less dynamic,
+and OFFSTAT ≥ OPT everywhere.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig13")
+def test_fig13_absolute_costs(benchmark, bench_scale, figure_report):
+    runs = 10 if bench_scale == "paper" else 5
+    result = run_once(benchmark, lambda: figures.figure13(runs=runs))
+    figure_report(result)
+
+    offstat, opt = result.y("OFFSTAT"), result.y("OPT")
+    assert all(o >= p - 1e-9 for o, p in zip(offstat, opt))
+    # λ = horizon is a static pattern: cheapest point for OPT
+    assert opt[-1] == min(opt)

@@ -1,0 +1,19 @@
+"""Figure 14: absolute OFFSTAT and OPT costs vs λ with β = 400 > c = 40."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig14")
+def test_fig14_absolute_costs_expensive_migration(
+    benchmark, bench_scale, figure_report
+):
+    runs = 10 if bench_scale == "paper" else 5
+    result = run_once(benchmark, lambda: figures.figure14(runs=runs))
+    figure_report(result)
+
+    offstat, opt = result.y("OFFSTAT"), result.y("OPT")
+    assert all(o >= p - 1e-9 for o, p in zip(offstat, opt))
+    assert opt[-1] == min(opt)

@@ -1,0 +1,28 @@
+"""Figure 15: OFFSTAT/OPT ratio vs λ, commuter dynamic load.
+
+Paper finding: the benefit of flexibility peaks (up to ≈2x) at moderate
+dynamics and shrinks at both extremes; OPT is *relatively* better when
+β > c.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig15")
+def test_fig15_ratio_dynamic(benchmark, bench_scale, figure_report):
+    runs = 10 if bench_scale == "paper" else 5
+    result = run_once(benchmark, lambda: figures.figure15(runs=runs))
+    figure_report(result)
+
+    for name in ("β<c", "β>c"):
+        ys = result.y(name)
+        assert all(v >= 1.0 - 1e-9 for v in ys)
+        # hump: some interior point beats the static extreme (λ = horizon)
+        assert max(ys[:-1]) > ys[-1]
+        # static extreme: flexibility worthless, ratio back near 1
+        assert ys[-1] <= 1.1
+    # β > c profits more from flexibility (the paper's observation)
+    assert sum(result.y("β>c")) >= sum(result.y("β<c"))

@@ -1,0 +1,23 @@
+"""Figure 16: OFFSTAT/OPT ratio vs λ, commuter static load.
+
+Paper finding: β<c fluctuates around ≈1.2 and drops to 1 for static access
+patterns; β>c reaches toward 2 at intermediate λ.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig16")
+def test_fig16_ratio_static(benchmark, bench_scale, figure_report):
+    runs = 10 if bench_scale == "paper" else 5
+    result = run_once(benchmark, lambda: figures.figure16(runs=runs))
+    figure_report(result)
+
+    for name in ("β<c", "β>c"):
+        ys = result.y(name)
+        assert all(v >= 1.0 - 1e-9 for v in ys)
+        assert ys[-1] <= 1.1  # static pattern: ratio returns to ~1
+    assert sum(result.y("β>c")) >= sum(result.y("β<c"))

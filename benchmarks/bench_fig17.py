@@ -1,0 +1,25 @@
+"""Figure 17: OFFSTAT/OPT ratio vs λ, time zone scenario (3 requests/round).
+
+Paper finding: the ratio rises quickly already for small λ, then declines
+roughly linearly with slower dynamics; the β<c and β>c variants behave
+similarly (highly correlated demand makes creating and migrating almost
+interchangeable).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig17")
+def test_fig17_ratio_timezones(benchmark, bench_scale, figure_report):
+    runs = 10 if bench_scale == "paper" else 5
+    result = run_once(benchmark, lambda: figures.figure17(runs=runs))
+    figure_report(result)
+
+    for name in ("β<c", "β>c"):
+        ys = result.y(name)
+        assert all(v >= 1.0 - 1e-9 for v in ys)
+        # decline toward low dynamics: the λ=horizon point is below the peak
+        assert ys[-1] < max(ys)

@@ -1,0 +1,26 @@
+"""Figure 18: OFFSTAT/OPT ratio vs T, commuter dynamic load (λ = 10).
+
+Paper finding: a larger request horizon (larger T) increases both absolute
+costs and the benefit of migration; β>c variants typically benefit more.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig18")
+def test_fig18_ratio_vs_period_dynamic(benchmark, bench_scale, figure_report):
+    runs = 10 if bench_scale == "paper" else 5
+    result = run_once(benchmark, lambda: figures.figure18(runs=runs))
+    figure_report(result)
+
+    pre_saturation = [i for i, T in enumerate(result.x_values) if 2 ** (T // 2) <= 5]
+    for name in ("β<c", "β>c"):
+        ys = result.y(name)
+        assert all(v >= 1.0 - 1e-9 for v in ys)
+        if len(pre_saturation) >= 2:
+            # ratio grows (or holds) with T until the fan-out saturates
+            assert ys[pre_saturation[-1]] >= ys[pre_saturation[0]] - 0.05
+    assert sum(result.y("β>c")) >= sum(result.y("β<c"))

@@ -1,0 +1,23 @@
+"""Figure 19: OFFSTAT/OPT ratio vs T, commuter static load (as Figure 18)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+@pytest.mark.figure("fig19")
+def test_fig19_ratio_vs_period_static(benchmark, bench_scale, figure_report):
+    runs = 10 if bench_scale == "paper" else 5
+    result = run_once(benchmark, lambda: figures.figure19(runs=runs))
+    figure_report(result)
+
+    # On 5-node graphs the fan-out saturates at T = 4 (2^(T/2) = 4 <= 5
+    # access points); the paper's "ratio grows with T" claim is checked on
+    # the pre-saturation prefix, after which the pattern stops widening.
+    pre_saturation = [i for i, T in enumerate(result.x_values) if 2 ** (T // 2) <= 5]
+    for name in ("β<c", "β>c"):
+        ys = result.y(name)
+        assert all(v >= 1.0 - 1e-9 for v in ys)
+        if len(pre_saturation) >= 2:
+            assert ys[pre_saturation[-1]] >= ys[pre_saturation[0]] - 0.05

@@ -1,0 +1,67 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one figure/table of the paper (see DESIGN.md §4)
+and prints the reproduced series as an ASCII table in the terminal summary,
+so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` doubles as
+the experiment report.
+
+Scale control: set ``REPRO_BENCH_SCALE=paper`` to run the exact caption
+parameters (several minutes per network-size figure); the default ``quick``
+profile shrinks sizes/runs while preserving every qualitative shape the
+assertions check.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.reporting import format_figure
+from repro.experiments.runner import FigureResult
+
+_REPORTS: list[str] = []
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark reproducing a paper figure"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The active scale profile: ``quick`` (default) or ``paper``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if scale not in ("quick", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'quick' or 'paper', got {scale!r}"
+        )
+    return scale
+
+
+@pytest.fixture
+def figure_report():
+    """Collect a FigureResult to be printed in the terminal summary."""
+
+    def _report(result: FigureResult) -> FigureResult:
+        _REPORTS.append(format_figure(result))
+        return result
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("reproduced figures", sep="=")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

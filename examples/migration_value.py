@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""When is flexibility worth it? The paper's headline experiment.
+
+Compares the best *static* provisioning with full future knowledge
+(OFFSTAT) against the *optimal dynamic* strategy (OPT, the exact dynamic
+program of §IV-A) while sweeping the demand's sojourn time λ — from frantic
+(λ=1: the pattern shifts every round) to frozen (λ=horizon: a static
+pattern).
+
+The paper's finding (Figures 15-17): flexibility pays the most at
+*moderate* dynamics — up to ~2x — and matters little at either extreme;
+and the advantage is larger when migration is impossible (β > c), because
+OPT then times its (expensive) server creations precisely.
+
+Run:  python examples/migration_value.py
+"""
+
+from repro import (
+    CommuterScenario,
+    CostModel,
+    OffStat,
+    Opt,
+    generate_trace,
+    line,
+    simulate,
+)
+from repro.util.rng import spawn_rngs
+
+LAMBDAS = (1, 2, 5, 10, 20, 50, 100, 200)
+HORIZON = 200
+RUNS = 5
+
+
+def ratio_for(costs: CostModel, sojourn: int, seed_base: int) -> float:
+    ratios = []
+    for rng in spawn_rngs(seed_base + sojourn, RUNS):
+        substrate = line(5, seed=rng, unit_latency=False, latency_range=(5, 20))
+        scenario = CommuterScenario(
+            substrate, period=4, sojourn=sojourn, dynamic_load=True
+        )
+        trace = generate_trace(scenario, HORIZON, rng)
+        offstat = simulate(substrate, OffStat(), trace, costs).total_cost
+        opt_cost, _plan = Opt.solve(substrate, trace, costs)
+        ratios.append(offstat / opt_cost)
+    return sum(ratios) / len(ratios)
+
+
+def main() -> None:
+    print("OFFSTAT / OPT on 5-node line graphs, commuter dynamic load "
+          f"(T=4, {HORIZON} rounds, {RUNS} runs per point)\n")
+    print(f"{'λ':>5}  {'β<c (β=40, c=400)':>20}  {'β>c (β=400, c=40)':>20}")
+    cheap = CostModel.paper_default()
+    dear = CostModel.migration_expensive()
+    for sojourn in LAMBDAS:
+        r_cheap = ratio_for(cheap, sojourn, seed_base=100)
+        r_dear = ratio_for(dear, sojourn, seed_base=900)
+        print(f"{sojourn:>5}  {r_cheap:>20.3f}  {r_dear:>20.3f}")
+
+    print(
+        "\nreading the table: ratios near 1 mean static provisioning is"
+        "\nessentially optimal (extreme dynamics: nothing to exploit;"
+        "\nfrozen demand: nothing changes). The bump in the middle is the"
+        "\npaper's 'benefit of virtualization' — and it is larger when"
+        "\nmigration is impossible (β > c), where timing creations is all"
+        "\nthat distinguishes OPT."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Two tenants, one substrate — the §II-B request model in full.
+
+The paper's requests are (access point, service) pairs: an infrastructure
+provider hosts *several* virtualised services at once. This example runs
+two tenants over the AT&T-like topology:
+
+* "erp" — an SAP-style business app with time-zone demand, and
+* "game" — a latency-sensitive game with commuter demand,
+
+each with its own ONTH-managed fleet. The tenants couple through shared
+node load: whenever their fleets co-locate, the node serves both tenants'
+requests. Under the linear load model the coupling is cost-neutral
+(attribution is proportional); switching the substrate to a quadratic load
+makes co-location genuinely expensive — watch the load share rise.
+
+Run:  python examples/multi_tenant.py
+"""
+
+import numpy as np
+
+from repro import (
+    CommuterScenario,
+    CostModel,
+    OnTH,
+    QuadraticLoad,
+    ServiceSpec,
+    TimeZoneScenario,
+    att_like_topology,
+    generate_trace,
+    simulate_services,
+)
+
+HORIZON = 400
+
+
+def build_services(substrate):
+    erp_demand = TimeZoneScenario(
+        substrate, period=8, sojourn=25, hotspot_share=0.5, requests_per_round=8
+    )
+    game_demand = CommuterScenario(substrate, period=8, sojourn=15)
+    return [
+        ServiceSpec("erp", OnTH(), generate_trace(erp_demand, HORIZON, seed=31)),
+        ServiceSpec("game", OnTH(), generate_trace(game_demand, HORIZON, seed=32)),
+    ]
+
+
+def main() -> None:
+    substrate = att_like_topology()
+    print(f"substrate: {substrate.name}, {substrate.n} routers\n")
+
+    for label, costs in (
+        ("linear node load", CostModel.paper_default()),
+        ("quadratic node load", CostModel.paper_default(load=QuadraticLoad())),
+    ):
+        results = simulate_services(
+            substrate, build_services(substrate), costs, seed=5
+        )
+        print(f"--- {label} ---")
+        print(f"{'tenant':<8} {'total':>10} {'latency':>9} {'load':>8} "
+              f"{'servers':>8} {'moves':>6}")
+        for name, run in results.items():
+            print(f"{name:<8} {run.total_cost:>10.1f} "
+                  f"{run.latency_cost.sum():>9.1f} {run.load_cost.sum():>8.1f} "
+                  f"{run.peak_active_servers:>8d} {run.total_migrations:>6d}")
+        combined_load = sum(run.load_cost.sum() for run in results.values())
+        print(f"combined load latency: {combined_load:.1f}\n")
+
+    print("quadratic load punishes contention: the same fleets pay more in "
+          "load\nwherever the tenants' servers share a node — the §II-B "
+          "coupling that a\nper-tenant simulation cannot see.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: run one adaptive allocation strategy and read its ledger.
+
+Builds a 200-node random substrate, generates a commuter-style demand trace
+(requests fan out from the network center and back, §V-A of the paper), and
+runs the paper's best online strategy ONTH against a static single server.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CommuterScenario,
+    Configuration,
+    CostModel,
+    OnTH,
+    StaticPolicy,
+    erdos_renyi,
+    generate_trace,
+    simulate,
+)
+
+
+def main() -> None:
+    # 1. The substrate network: 200 nodes, 1% Erdős–Rényi, T1/T2 links.
+    substrate = erdos_renyi(200, p=0.01, seed=42)
+    print(f"substrate: {substrate.name} with {substrate.n} nodes, "
+          f"{substrate.n_links} links, center at node {substrate.center}")
+
+    # 2. The demand: commuters moving between downtown and the suburbs.
+    scenario = CommuterScenario(substrate, sojourn=10, dynamic_load=True)
+    trace = generate_trace(scenario, horizon=500, seed=7)
+    print(f"trace: {len(trace)} rounds, {trace.total_requests} requests, "
+          f"peak {trace.max_requests_per_round}/round")
+
+    # 3. The cost model: β=40 (migration), c=400 (creation), Ra=2.5, Ri=0.5.
+    costs = CostModel.paper_default()
+
+    # 4. Run ONTH — the paper's two-threshold online algorithm.
+    onth = simulate(substrate, OnTH(), trace, costs, seed=0)
+    print("\nONTH (adaptive):")
+    print(f"  total cost      {onth.total_cost:12.1f}")
+    print(f"  access cost     {onth.breakdown.access:12.1f}")
+    print(f"  running cost    {onth.breakdown.running:12.1f}")
+    print(f"  migration cost  {onth.breakdown.migration:12.1f}"
+          f"  ({onth.total_migrations} migrations)")
+    print(f"  creation cost   {onth.breakdown.creation:12.1f}"
+          f"  ({onth.total_creations} creations)")
+    print(f"  servers         peak {onth.peak_active_servers}, "
+          f"mean {onth.mean_active_servers:.2f}")
+
+    # 5. Compare with a frozen single server at the network center.
+    static = simulate(
+        substrate,
+        StaticPolicy(Configuration.single(substrate.center)),
+        trace,
+        costs,
+    )
+    print("\nstatic single server at the center:")
+    print(f"  total cost      {static.total_cost:12.1f}")
+
+    advantage = static.total_cost / onth.total_cost
+    print(f"\nflexibility advantage: static / ONTH = {advantage:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

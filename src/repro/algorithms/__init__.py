@@ -1,0 +1,47 @@
+"""Allocation strategies: the online algorithms of §III and offline of §IV.
+
+Online (no knowledge of future requests):
+
+* :class:`OnConf` — configuration counters, the generic/conceptual
+  algorithm (exponential configuration space; small instances only);
+* :class:`OnBR` — sequential best-response on an epoch threshold θ, with
+  the "fixed" (θ = 2c) and "dyn" (θ = 2c/ℓ) variants of §V-B;
+* :class:`OnTH` — the two-threshold algorithm (small epochs migrate or
+  deactivate, large epochs add servers).
+
+* :class:`WorkFunctionPolicy` — the metrical-task-system work function
+  algorithm (§VI related work), the theory-grade online comparator.
+
+Offline (full request sequence known ahead of time):
+
+* :class:`Opt` — the exact dynamic program over configurations;
+* :class:`BeamOpt` — the §IV-B sampling heuristic (beam search) for graphs
+  beyond OPT's exponential state space;
+* :class:`OffBR` / :class:`OffTH` — best-response on the *upcoming* epoch;
+* :class:`OffStat` — best static placement and fleet size (no flexibility);
+* :class:`StaticPolicy` — any fixed configuration as a baseline.
+"""
+
+from repro.algorithms.beamopt import BeamOpt
+from repro.algorithms.offline_br import OffBR, OffTH
+from repro.algorithms.offstat import OffStat
+from repro.algorithms.onbr import OnBR
+from repro.algorithms.onconf import OnConf
+from repro.algorithms.onth import OnTH
+from repro.algorithms.opt import Opt, per_round_access_costs
+from repro.algorithms.static import StaticPolicy
+from repro.algorithms.workfunction import WorkFunctionPolicy
+
+__all__ = [
+    "OnConf",
+    "OnBR",
+    "OnTH",
+    "WorkFunctionPolicy",
+    "Opt",
+    "BeamOpt",
+    "OffBR",
+    "OffTH",
+    "OffStat",
+    "StaticPolicy",
+    "per_round_access_costs",
+]

@@ -1,0 +1,192 @@
+"""ONCONF — the generic configuration-counter online algorithm of §III.
+
+ONCONF generalises the single-server algorithm of Bienkowski et al. [4] to
+up to ``k`` servers: it maintains a counter ``C(γ)`` for every configuration
+γ (every placement of 1..k active servers). Within an epoch, each round adds
+to *every* counter the cost that configuration would have paid for the
+round's requests (access cost plus running cost). The current configuration
+γ̂ is kept until ``C(γ̂)`` reaches ``k·c``; then ONCONF switches to a
+configuration chosen uniformly at random among those with ``C(γ) < k·c``.
+When no such configuration remains, the epoch ends in that round: all
+counters reset and the next epoch starts in the next round (no migration).
+
+The configuration space has ``Σ_{i=1..k} C(n, i)`` elements, so — exactly as
+the paper observes — the algorithm is only practical for small substrates
+and small ``k``; the constructor enforces a budget. Its value here is as the
+conceptual anchor (the competitive-ratio argument of §III applies to it) and
+as a baseline on the 5-node OPT topologies.
+
+Note: the paper's counter description mentions "possible creation costs";
+we accumulate access + running cost only, since the creation cost a
+configuration *would* pay depends on the unknown switching path. The k·c
+threshold bounds the per-epoch movement cost exactly as in the analysis.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.policy import AllocationPolicy
+from repro.core.routing import RoutingResult
+from repro.topology.substrate import Substrate
+from repro.util.validation import check_positive_int
+
+__all__ = ["OnConf"]
+
+#: Hard budget on the enumerated configuration space.
+_MAX_CONFIGURATIONS = 20_000
+
+
+class OnConf(AllocationPolicy):
+    """Online configuration-counter algorithm (ONCONF, §III).
+
+    Args:
+        max_servers: the paper's ``k`` — configurations host 1..k active
+            servers (the inactive cache is not part of ONCONF
+            configurations).
+        start_node: initial server location; ``None`` = network center.
+        deterministic: switch to the *lowest-counter* configuration instead
+            of a uniformly random eligible one (a §III-mentioned
+            optimisation; used by tests for reproducibility).
+    """
+
+    def __init__(
+        self,
+        max_servers: int = 2,
+        start_node: "int | None" = None,
+        deterministic: bool = False,
+    ) -> None:
+        self._k = check_positive_int("max_servers", max_servers)
+        self._start_node = start_node
+        self._deterministic = bool(deterministic)
+
+        self._substrate: "Substrate | None" = None
+        self._costs: "CostModel | None" = None
+        self._rng: "np.random.Generator | None" = None
+        self._configs: list[np.ndarray] = []
+        self._run_costs: "np.ndarray | None" = None
+        self._counters: "np.ndarray | None" = None
+        self._current = 0
+        self._threshold = 0.0
+
+    @property
+    def name(self) -> str:
+        return "ONCONF"
+
+    @property
+    def configuration(self) -> Configuration:
+        """The policy's current configuration."""
+        return Configuration(tuple(int(v) for v in self._configs[self._current]))
+
+    @property
+    def n_configurations(self) -> int:
+        """Size of the enumerated configuration space."""
+        return len(self._configs)
+
+    # -- policy interface --------------------------------------------------------
+
+    def reset(
+        self,
+        substrate: Substrate,
+        costs: CostModel,
+        rng: np.random.Generator,
+    ) -> Configuration:
+        self._substrate = substrate
+        self._costs = costs
+        self._rng = rng
+        k = min(self._k, substrate.n)
+
+        total = _space_size(substrate.n, k)
+        if total > _MAX_CONFIGURATIONS:
+            raise ValueError(
+                f"ONCONF would enumerate {total} configurations "
+                f"(n={substrate.n}, k={k}); the budget is {_MAX_CONFIGURATIONS}. "
+                "Use ONBR/ONTH for larger instances (§III-A)."
+            )
+
+        self._configs = [
+            np.asarray(combo, dtype=np.int64)
+            for size in range(1, k + 1)
+            for combo in combinations(range(substrate.n), size)
+        ]
+        self._run_costs = np.asarray(
+            [costs.running_cost_counts(cfg.size) for cfg in self._configs]
+        )
+        self._counters = np.zeros(len(self._configs), dtype=np.float64)
+        self._threshold = k * costs.creation
+
+        start = substrate.center if self._start_node is None else int(self._start_node)
+        self._current = self._index_of((start,))
+        return self.configuration
+
+    def _index_of(self, active: tuple[int, ...]) -> int:
+        target = np.asarray(sorted(active), dtype=np.int64)
+        for i, cfg in enumerate(self._configs):
+            if cfg.size == target.size and np.array_equal(cfg, target):
+                return i
+        raise ValueError(f"configuration {active} not in the enumerated space")
+
+    def decide(
+        self,
+        t: int,
+        requests: np.ndarray,
+        routing: RoutingResult,
+    ) -> Configuration:
+        self._accumulate(requests)
+
+        if self._counters[self._current] < self._threshold:
+            return self.configuration
+
+        eligible = np.flatnonzero(self._counters < self._threshold)
+        if eligible.size == 0:
+            # Epoch over: reset all counters, stay put; the next epoch
+            # starts with the next round.
+            self._counters[:] = 0.0
+            return self.configuration
+
+        if self._deterministic:
+            self._current = int(eligible[np.argmin(self._counters[eligible])])
+        else:
+            self._current = int(self._rng.choice(eligible))
+        return self.configuration
+
+    # -- counter update -----------------------------------------------------------
+
+    def _accumulate(self, requests: np.ndarray) -> None:
+        counters = self._counters
+        counters += self._run_costs
+        if requests.size == 0:
+            return
+
+        distances = self._substrate.distances[:, requests]
+        strengths = self._substrate.strengths
+        costs = self._costs
+        invariant = (
+            costs.load.assignment_invariant_for_uniform_strength
+            and bool(np.all(strengths == strengths[0]))
+        )
+        hop = costs.wireless_hop * requests.size
+        if invariant:
+            uniform_load = float(
+                costs.load(strengths[:1], np.asarray([requests.size])).sum()
+            )
+        for i, cfg in enumerate(self._configs):
+            sub = distances[cfg]
+            latency = float(sub.min(axis=0).sum())
+            if invariant:
+                load = uniform_load
+            else:
+                assignment = np.argmin(sub, axis=0)
+                counts = np.bincount(assignment, minlength=cfg.size)
+                load = float(costs.load(strengths[cfg], counts).sum())
+            counters[i] += latency + hop + load
+
+
+def _space_size(n: int, k: int) -> int:
+    from math import comb
+
+    return sum(comb(n, i) for i in range(1, k + 1))

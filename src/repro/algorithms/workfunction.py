@@ -1,0 +1,197 @@
+"""The Work Function Algorithm as an online baseline (§VI related work).
+
+The paper situates its problem among *metrical task systems* (Borodin,
+Linial, Saks): states are server configurations, task costs are the round's
+access + running costs, and the transition metric is the §II-C
+migration/creation pricing. For MTS the classic deterministic strategy is
+the **work function algorithm** (WFA): maintain
+
+    w_t(γ) = min over γ' of [ w_{t-1}(γ') + task_t(γ') + d(γ', γ) ]
+
+— the cheapest cost of any schedule that serves rounds ``0..t`` and ends in
+γ — and after each round move to the configuration minimising
+``w_t(γ) + d(current, γ)``.
+
+Like ONCONF, WFA's state space is every placement of ``1..k`` active
+servers, so it is exponential in ``k`` and practical only on small
+substrates; it exists here as the theory-grade online comparator for ONBR
+and ONTH (the ablation benchmark pits all three against OPT). The inner
+recurrence is one vectorised ``|Γ|²`` broadcast per round.
+
+Note the difference to :class:`~repro.algorithms.opt.Opt`: WFA *is* an
+online algorithm — ``w_t`` only looks backwards — while OPT additionally
+backtracks the globally optimal path at hindsight.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.policy import AllocationPolicy
+from repro.core.routing import RoutingResult
+from repro.core.transitions import price_transition
+from repro.topology.substrate import Substrate
+from repro.util.validation import check_positive_int
+
+__all__ = ["WorkFunctionPolicy"]
+
+#: Hard budget on the enumerated configuration space (as for ONCONF).
+_MAX_CONFIGURATIONS = 5_000
+
+
+class WorkFunctionPolicy(AllocationPolicy):
+    """Online allocation via the MTS work function algorithm.
+
+    Args:
+        max_servers: the ``k`` bounding enumerated fleet sizes.
+        start_node: initial server location (``None`` = network center).
+    """
+
+    def __init__(
+        self, max_servers: int = 2, start_node: "int | None" = None
+    ) -> None:
+        self._k = check_positive_int("max_servers", max_servers)
+        self._start_node = start_node
+
+        self._substrate: "Substrate | None" = None
+        self._costs: "CostModel | None" = None
+        self._configs: list[np.ndarray] = []
+        self._distance: "np.ndarray | None" = None
+        self._run_costs: "np.ndarray | None" = None
+        self._work: "np.ndarray | None" = None
+        self._current = 0
+
+    @property
+    def name(self) -> str:
+        return "WFA"
+
+    @property
+    def configuration(self) -> Configuration:
+        """The policy's current configuration."""
+        return Configuration(tuple(int(v) for v in self._configs[self._current]))
+
+    @property
+    def n_configurations(self) -> int:
+        """Size of the enumerated configuration space."""
+        return len(self._configs)
+
+    @property
+    def work_function(self) -> np.ndarray:
+        """The current work-function values (copy, aligned with the space)."""
+        return np.array(self._work)
+
+    # -- policy interface --------------------------------------------------------
+
+    def reset(
+        self,
+        substrate: Substrate,
+        costs: CostModel,
+        rng: np.random.Generator,
+    ) -> Configuration:
+        self._substrate = substrate
+        self._costs = costs
+        k = min(self._k, substrate.n)
+
+        total = sum(
+            _n_choose(substrate.n, size) for size in range(1, k + 1)
+        )
+        if total > _MAX_CONFIGURATIONS:
+            raise ValueError(
+                f"WFA would enumerate {total} configurations "
+                f"(n={substrate.n}, k={k}); the budget is {_MAX_CONFIGURATIONS}. "
+                "Use ONBR/ONTH for larger instances."
+            )
+
+        self._configs = [
+            np.asarray(combo, dtype=np.int64)
+            for size in range(1, k + 1)
+            for combo in combinations(range(substrate.n), size)
+        ]
+        self._run_costs = np.asarray(
+            [costs.running_cost_counts(cfg.size) for cfg in self._configs]
+        )
+        self._distance = self._pairwise_distances()
+
+        start = substrate.center if self._start_node is None else int(self._start_node)
+        if not 0 <= start < substrate.n:
+            raise ValueError(f"start node {start} outside the substrate")
+        self._current = self._index_of((start,))
+        self._work = self._distance[self._current].copy()
+        return self.configuration
+
+    def _pairwise_distances(self) -> np.ndarray:
+        size = len(self._configs)
+        wrapped = [
+            Configuration(tuple(int(v) for v in cfg)) for cfg in self._configs
+        ]
+        matrix = np.zeros((size, size), dtype=np.float64)
+        for i, a in enumerate(wrapped):
+            for j, b in enumerate(wrapped):
+                if i != j:
+                    matrix[i, j] = price_transition(a, b, self._costs).cost
+        return matrix
+
+    def _index_of(self, active: tuple[int, ...]) -> int:
+        target = np.asarray(sorted(active), dtype=np.int64)
+        for i, cfg in enumerate(self._configs):
+            if cfg.size == target.size and np.array_equal(cfg, target):
+                return i
+        raise ValueError(f"configuration {active} not in the enumerated space")
+
+    def decide(
+        self,
+        t: int,
+        requests: np.ndarray,
+        routing: RoutingResult,
+    ) -> Configuration:
+        task = self._task_costs(requests)
+        # w_t(γ) = min_γ' [ w_{t-1}(γ') + task(γ') + d(γ', γ) ]
+        served = self._work + task
+        self._work = (served[:, None] + self._distance).min(axis=0)
+        # WFA move rule: argmin of w_t(γ) + d(current, γ). Ties are broken
+        # toward the smaller work-function value: staying put always scores
+        # w(γ̂) ≤ w(γ) + d(γ, γ̂), so exact ties are systematic and a naive
+        # argmin would never move off a demand-starved state.
+        scores = self._work + self._distance[self._current]
+        rounded = np.round(scores, 9)
+        self._current = int(np.lexsort((self._work, rounded))[0])
+        return self.configuration
+
+    def _task_costs(self, requests: np.ndarray) -> np.ndarray:
+        """Round cost of every configuration: access + running."""
+        task = self._run_costs.copy()
+        if requests.size == 0:
+            return task
+        distances = self._substrate.distances[:, requests]
+        strengths = self._substrate.strengths
+        costs = self._costs
+        invariant = (
+            costs.load.assignment_invariant_for_uniform_strength
+            and bool(np.all(strengths == strengths[0]))
+        )
+        hop = costs.wireless_hop * requests.size
+        if invariant:
+            uniform_load = float(
+                costs.load(strengths[:1], np.asarray([requests.size])).sum()
+            )
+        for i, cfg in enumerate(self._configs):
+            sub = distances[cfg]
+            latency = float(sub.min(axis=0).sum())
+            if invariant:
+                load = uniform_load
+            else:
+                assignment = np.argmin(sub, axis=0)
+                counts = np.bincount(assignment, minlength=cfg.size)
+                load = float(costs.load(strengths[cfg], counts).sum())
+            task[i] += latency + hop + load
+        return task
+
+
+def _n_choose(n: int, k: int) -> int:
+    from math import comb
+
+    return comb(n, k)

@@ -1,0 +1,22 @@
+"""Analysis helpers: competitive ratios and multi-run statistics."""
+
+from repro.analysis.competitive import competitive_ratio_vs_opt, cost_ratio
+from repro.analysis.demand import churn, hotspot_dwell, spatial_spread
+from repro.analysis.stats import (
+    MeanStderr,
+    average_breakdown,
+    average_total,
+    mean_stderr,
+)
+
+__all__ = [
+    "competitive_ratio_vs_opt",
+    "cost_ratio",
+    "churn",
+    "hotspot_dwell",
+    "spatial_spread",
+    "MeanStderr",
+    "average_breakdown",
+    "average_total",
+    "mean_stderr",
+]

@@ -1,0 +1,56 @@
+"""Competitive-ratio analysis (§II-E, Figures 11 and 15-19).
+
+The competitive ratio compares an algorithm's cost to the optimal offline
+cost on the *same* request sequence. The paper uses two ratio families:
+
+* **online price** — ONTH / OPT (Figure 11): what does the lack of future
+  knowledge cost?
+* **benefit of flexibility** — OFFSTAT / OPT (Figures 15-19): what does the
+  lack of migration/allocation flexibility cost, even with full knowledge?
+
+Both require the exact :class:`~repro.algorithms.opt.Opt` dynamic program,
+so — like the paper — these run on small substrates (line graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.opt import Opt
+from repro.core.costs import CostModel
+from repro.core.policy import AllocationPolicy
+from repro.core.simulator import simulate
+from repro.topology.substrate import Substrate
+from repro.workload.base import Trace
+
+__all__ = ["cost_ratio", "competitive_ratio_vs_opt"]
+
+
+def cost_ratio(numerator: float, denominator: float) -> float:
+    """A guarded ratio: raises on non-positive optimal cost instead of inf."""
+    if denominator <= 0:
+        raise ValueError(
+            f"cannot form a ratio against non-positive cost {denominator!r}"
+        )
+    return numerator / denominator
+
+
+def competitive_ratio_vs_opt(
+    substrate: Substrate,
+    policy: AllocationPolicy,
+    trace: Trace,
+    costs: "CostModel | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    max_servers: "int | None" = None,
+) -> tuple[float, float, float]:
+    """Run ``policy`` and OPT on the same trace; return (ratio, cost, opt_cost).
+
+    The ratio is ≥ 1 up to floating-point noise — OPT is exact (tested as a
+    library invariant).
+    """
+    costs = costs if costs is not None else CostModel.paper_default()
+    run = simulate(substrate, policy, trace, costs, seed=seed)
+    opt_cost, _plan = Opt.solve(
+        substrate, trace, costs, max_servers=max_servers
+    )
+    return cost_ratio(run.total_cost, opt_cost), run.total_cost, opt_cost

@@ -1,0 +1,116 @@
+"""Demand-dynamics metrics: quantifying *how dynamic* a trace actually is.
+
+The paper's central message is that flexibility pays off at *moderate*
+dynamics. These metrics make "dynamics" measurable for any trace, so
+experiments can be read against the demand's actual behaviour instead of
+the generator parameter λ alone:
+
+* :func:`churn` — fraction of demand mass that changes access point per
+  round (0 = frozen, →1 = completely reshuffled every round);
+* :func:`spatial_spread` — average latency from the demand to its
+  per-round barycentre node (how far apart concurrent requests are);
+* :func:`hotspot_dwell` — mean number of consecutive rounds the modal
+  access point stays the same (the effective sojourn time).
+
+All metrics are deterministic functions of (trace, substrate) and are used
+by the mobility/correlation ablation and the analysis tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.substrate import Substrate
+from repro.workload.base import Trace
+
+__all__ = ["churn", "spatial_spread", "hotspot_dwell"]
+
+
+def churn(trace: Trace, n_nodes: "int | None" = None) -> float:
+    """Mean per-round demand churn in [0, 1].
+
+    Round-to-round churn is the total-variation distance between the
+    consecutive rounds' demand distributions over access points: 0 when the
+    histogram is unchanged, 1 when the demand moved entirely. Rounds where
+    both histograms are empty contribute 0; a transition between empty and
+    non-empty contributes 1.
+    """
+    if len(trace) < 2:
+        return 0.0
+    size = n_nodes if n_nodes is not None else trace.max_node + 1
+    size = max(size, 1)
+
+    def histogram(arr: np.ndarray) -> "np.ndarray | None":
+        if arr.size == 0:
+            return None
+        return np.bincount(arr, minlength=size) / arr.size
+
+    total = 0.0
+    previous = histogram(trace[0])
+    for t in range(1, len(trace)):
+        current = histogram(trace[t])
+        if previous is None and current is None:
+            step = 0.0
+        elif previous is None or current is None:
+            step = 1.0
+        else:
+            step = 0.5 * float(np.abs(current - previous).sum())
+        total += step
+        previous = current
+    return total / (len(trace) - 1)
+
+
+def spatial_spread(trace: Trace, substrate: Substrate) -> float:
+    """Mean latency from each request to its round's demand barycentre.
+
+    The barycentre of a round is the node minimising the total latency to
+    the round's requests (a 1-median restricted to substrate nodes). The
+    average distance to it measures how *concentrated* the concurrent
+    demand is: 0 when all requests share one access point.
+    """
+    distances = substrate.distances
+    weighted_total = 0.0
+    n_requests = 0
+    for requests in trace:
+        if requests.size == 0:
+            continue
+        cost_per_node = distances[:, requests].sum(axis=1)
+        barycentre = int(np.argmin(cost_per_node))
+        weighted_total += float(cost_per_node[barycentre])
+        n_requests += int(requests.size)
+    if n_requests == 0:
+        return 0.0
+    return weighted_total / n_requests
+
+
+def hotspot_dwell(trace: Trace) -> float:
+    """Mean run length (rounds) of the per-round modal access point.
+
+    Empty rounds terminate a run. A fully static trace returns
+    ``len(trace)``; a trace whose busiest node changes every round
+    returns 1.0.
+    """
+    modes: list[int] = []
+    for requests in trace:
+        if requests.size == 0:
+            modes.append(-1)
+            continue
+        values, counts = np.unique(requests, return_counts=True)
+        modes.append(int(values[np.argmax(counts)]))
+
+    runs: list[int] = []
+    current = 0
+    previous: "int | None" = None
+    for mode in modes:
+        if mode != -1 and mode == previous:
+            current += 1
+        else:
+            if current:
+                runs.append(current)
+            current = 1 if mode != -1 else 0
+        previous = mode if mode != -1 else None
+    if current:
+        runs.append(current)
+    if not runs:
+        return 0.0
+    return float(np.mean(runs))

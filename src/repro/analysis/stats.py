@@ -1,0 +1,60 @@
+"""Summary statistics for multi-run experiments.
+
+Every figure of §V averages over 5-10 independent runs; these helpers keep
+that aggregation in one place (mean, standard error, and component-wise
+averaging of cost breakdowns).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.results import CostBreakdown, RunResult
+
+__all__ = ["MeanStderr", "mean_stderr", "average_breakdown", "average_total"]
+
+
+@dataclass(frozen=True)
+class MeanStderr:
+    """A sample mean with its standard error."""
+
+    mean: float
+    stderr: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.1f} ± {self.stderr:.1f}"
+
+
+def mean_stderr(values: Sequence[float]) -> MeanStderr:
+    """Mean and standard error of the mean (ddof=1; stderr 0 for n < 2)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("mean_stderr needs at least one value")
+    if arr.size == 1:
+        return MeanStderr(float(arr[0]), 0.0, 1)
+    return MeanStderr(
+        float(arr.mean()),
+        float(arr.std(ddof=1) / math.sqrt(arr.size)),
+        int(arr.size),
+    )
+
+
+def average_total(results: Iterable[RunResult]) -> MeanStderr:
+    """Mean ± stderr of the total cost across runs."""
+    return mean_stderr([r.total_cost for r in results])
+
+
+def average_breakdown(results: Iterable[RunResult]) -> CostBreakdown:
+    """Component-wise mean cost breakdown across runs."""
+    results = list(results)
+    if not results:
+        raise ValueError("average_breakdown needs at least one run")
+    total = results[0].breakdown
+    for r in results[1:]:
+        total = total + r.breakdown
+    return total.scaled(1.0 / len(results))

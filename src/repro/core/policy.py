@@ -1,0 +1,82 @@
+"""Allocation-policy interface: the decision maker of the online game (§II-E).
+
+Every strategy — online (§III) or offline (§IV) — is an
+:class:`AllocationPolicy`. The simulator drives the synchronous game:
+
+1. the round's requests arrive,
+2. the policy's *current* configuration pays the access cost,
+3. the policy returns the next configuration and the simulator prices the
+   transition (running + migration + creation costs).
+
+Offline strategies additionally implement :class:`OfflinePolicy` and receive
+the entire trace before the run starts — the paper's "demand known ahead of
+time" standpoint. They still run through the same simulator so that their
+ledgers are produced by exactly the same accounting code as the online
+algorithms.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.routing import RoutingResult
+from repro.topology.substrate import Substrate
+from repro.workload.base import Trace
+
+__all__ = ["AllocationPolicy", "OfflinePolicy"]
+
+
+class AllocationPolicy(ABC):
+    """Base class for server allocation strategies."""
+
+    @property
+    def name(self) -> str:
+        """Display name used in ledgers and reports."""
+        return type(self).__name__
+
+    @abstractmethod
+    def reset(
+        self,
+        substrate: Substrate,
+        costs: CostModel,
+        rng: np.random.Generator,
+    ) -> Configuration:
+        """Bind to a substrate and return the initial configuration ``γ0``.
+
+        Called once per run before any request arrives; implementations must
+        clear all epoch state so a policy object can be reused across runs.
+        The returned configuration is *not* charged (the system starts there,
+        as in OPT's ``opt[0]`` base case).
+        """
+
+    @abstractmethod
+    def decide(
+        self,
+        t: int,
+        requests: np.ndarray,
+        routing: RoutingResult,
+    ) -> Configuration:
+        """Choose the configuration for the end of round ``t``.
+
+        Args:
+            t: round index.
+            requests: the round's request multiset (access-point indices).
+            routing: how those requests were served by the *current*
+                configuration, including the access cost just paid.
+
+        Returns:
+            The next configuration; returning the current one means "no
+            change" and is free.
+        """
+
+
+class OfflinePolicy(AllocationPolicy):
+    """A policy that sees the full request sequence before the run."""
+
+    @abstractmethod
+    def prepare(self, trace: Trace) -> None:
+        """Receive the complete trace ahead of time (called before reset)."""

@@ -1,0 +1,102 @@
+"""The inactive-server cache of §III: a bounded FIFO queue with expiry.
+
+ONBR and ONTH manage deactivated servers in a constant-size queue (size 3 in
+the paper's simulations): the oldest inactive server is replaced first, an
+inactive server expires after ``x`` epochs (x = 20 in the paper), and when a
+new server is needed at an empty node the oldest cache entry is the donor
+that gets migrated there.
+
+The cache tracks (node, age) pairs; ageing is driven by the owning policy
+calling :meth:`tick_epoch` at its epoch boundaries.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["InactiveServerCache"]
+
+
+class InactiveServerCache:
+    """Bounded FIFO cache of inactive servers with epoch-based expiry.
+
+    Args:
+        max_size: queue capacity; pushing to a full queue drops the oldest
+            entry (that server leaves use).
+        expiry_epochs: entries older than this many epochs are dropped by
+            :meth:`tick_epoch`.
+    """
+
+    def __init__(self, max_size: int = 3, expiry_epochs: int = 20) -> None:
+        self._max_size = check_positive_int("max_size", max_size)
+        self._expiry = check_positive_int("expiry_epochs", expiry_epochs)
+        self._entries: list[tuple[int, int]] = []  # (node, age), oldest first
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def max_size(self) -> int:
+        """Queue capacity."""
+        return self._max_size
+
+    @property
+    def expiry_epochs(self) -> int:
+        """Number of epochs after which an entry expires."""
+        return self._expiry
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """Cached server nodes, oldest first (the FIFO order)."""
+        return tuple(node for node, _age in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: int) -> bool:
+        return any(node == entry for entry, _age in self._entries)
+
+    # -- mutations ----------------------------------------------------------------
+
+    def push(self, node: int) -> "int | None":
+        """Add a freshly deactivated server at ``node``.
+
+        Returns the node of the *evicted* oldest entry when the queue was
+        full, else ``None``. Pushing a node already cached is rejected: a
+        node hosts at most one server.
+        """
+        if node in self:
+            raise ValueError(f"node {node} is already in the inactive cache")
+        evicted = None
+        if len(self._entries) >= self._max_size:
+            evicted, _age = self._entries.pop(0)
+        self._entries.append((int(node), 0))
+        return evicted
+
+    def pop_oldest(self) -> "int | None":
+        """Remove and return the oldest cached node (migration donor), or None."""
+        if not self._entries:
+            return None
+        node, _age = self._entries.pop(0)
+        return node
+
+    def remove(self, node: int) -> bool:
+        """Consume the entry at ``node`` (in-place activation). True if found."""
+        for i, (entry, _age) in enumerate(self._entries):
+            if entry == node:
+                del self._entries[i]
+                return True
+        return False
+
+    def tick_epoch(self) -> list[int]:
+        """Age every entry by one epoch; return the nodes that expired."""
+        aged = [(node, age + 1) for node, age in self._entries]
+        expired = [node for node, age in aged if age >= self._expiry]
+        self._entries = [(node, age) for node, age in aged if age < self._expiry]
+        return expired
+
+    def clear(self) -> None:
+        """Drop every entry (all cached servers leave use)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InactiveServerCache(nodes={list(self.nodes)}, max_size={self._max_size})"

@@ -1,0 +1,133 @@
+"""The synchronous online game of §II-E, executed round by round.
+
+:func:`simulate` is the single entry point every experiment uses: it drives
+an :class:`~repro.core.policy.AllocationPolicy` over a
+:class:`~repro.workload.base.Trace` on a substrate, prices every
+configuration change with :func:`~repro.core.transitions.price_transition`,
+and returns the full per-round cost ledger.
+
+Accounting per round ``t`` (the exact order of §II-E):
+
+1. requests ``σt`` arrive;
+2. the current configuration pays the access cost (request latency plus
+   server load);
+3. the policy picks the next configuration; migration/creation costs of the
+   transition and the running costs of the *new* configuration are paid.
+
+The paper notes the results are insensitive to reordering steps 2 and 3
+because one round's requests are much cheaper than a migration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.policy import AllocationPolicy, OfflinePolicy
+from repro.core.results import RoundRecord, RunLedger, RunResult
+from repro.core.routing import RoutingStrategy, route_requests
+from repro.core.transitions import price_transition
+from repro.topology.substrate import Substrate
+from repro.workload.base import Trace
+from repro.util.rng import ensure_rng
+
+__all__ = ["simulate"]
+
+
+def simulate(
+    substrate: Substrate,
+    policy: AllocationPolicy,
+    trace: Trace,
+    costs: "CostModel | None" = None,
+    routing: RoutingStrategy = RoutingStrategy.NEAREST,
+    seed: "int | np.random.Generator | None" = None,
+    max_servers: "int | None" = None,
+) -> RunResult:
+    """Run ``policy`` against ``trace`` on ``substrate`` and return the ledger.
+
+    Args:
+        substrate: the substrate network.
+        policy: the allocation strategy; offline policies are handed the
+            trace via ``prepare`` before the run starts.
+        trace: the request sequence (one node-index array per round).
+        costs: cost model; defaults to the paper's β=40, c=400 model.
+        routing: request-to-server assignment strategy.
+        seed: randomness for the policy (e.g. ONCONF's random switch).
+        max_servers: optional hard cap ``k`` on simultaneous in-use servers;
+            a policy exceeding it is a bug and raises.
+
+    Returns:
+        The immutable :class:`~repro.core.results.RunResult`.
+
+    Raises:
+        ValueError: if the trace references nodes outside the substrate, a
+            round with requests finds no active server, or ``max_servers``
+            is violated.
+    """
+    costs = costs if costs is not None else CostModel.paper_default()
+    rng = ensure_rng(seed)
+
+    if trace.max_node >= substrate.n:
+        raise ValueError(
+            f"trace references node {trace.max_node} but substrate has "
+            f"{substrate.n} nodes"
+        )
+    if costs.migration_matrix is not None and costs.migration_matrix.shape[0] != substrate.n:
+        raise ValueError(
+            f"migration_matrix is {costs.migration_matrix.shape[0]}x"
+            f"{costs.migration_matrix.shape[1]} but substrate has {substrate.n} nodes"
+        )
+
+    if isinstance(policy, OfflinePolicy):
+        policy.prepare(trace)
+    config = policy.reset(substrate, costs, rng)
+    _check_config(config, substrate, max_servers, t=-1)
+
+    ledger = RunLedger()
+    for t, requests in enumerate(trace):
+        routed = route_requests(
+            substrate, np.asarray(config.active, dtype=np.int64), requests,
+            costs, routing,
+        )
+        new_config = policy.decide(t, requests, routed)
+        _check_config(new_config, substrate, max_servers, t)
+        outcome = price_transition(config, new_config, costs)
+        config = new_config
+
+        ledger.append(
+            RoundRecord(
+                t=t,
+                latency_cost=routed.latency_cost,
+                load_cost=routed.load_cost,
+                running_cost=costs.running_cost(config),
+                migration_cost=outcome.migration_cost,
+                creation_cost=outcome.creation_cost,
+                migrations=outcome.migrations,
+                creations=outcome.creations,
+                n_active=config.n_active,
+                n_inactive=config.n_inactive,
+                n_requests=int(requests.size),
+            )
+        )
+
+    return ledger.finish(policy.name, trace.scenario_name)
+
+
+def _check_config(
+    config: Configuration,
+    substrate: Substrate,
+    max_servers: "int | None",
+    t: int,
+) -> None:
+    when = "initial configuration" if t < 0 else f"round {t}"
+    occupied = config.occupied
+    if occupied and max(occupied) >= substrate.n:
+        raise ValueError(
+            f"{when}: configuration references node {max(occupied)} outside "
+            f"the {substrate.n}-node substrate"
+        )
+    if max_servers is not None and config.n_servers > max_servers:
+        raise ValueError(
+            f"{when}: {config.n_servers} servers in use exceeds the k={max_servers} cap"
+        )

@@ -1,0 +1,20 @@
+"""Experiment harness: figure reproductions, ablations, sweeps and reports.
+
+``repro.experiments.figures`` holds one function per figure/table of the
+paper's §V; ``repro.experiments.ablations`` holds the extra design-choice
+studies; :func:`sweep_experiment` is the multi-run engine and
+:func:`format_figure` the plain-text renderer used by the benchmarks.
+"""
+
+from repro.experiments import ablations, figures
+from repro.experiments.reporting import format_figure, format_table
+from repro.experiments.runner import FigureResult, sweep_experiment
+
+__all__ = [
+    "figures",
+    "ablations",
+    "FigureResult",
+    "sweep_experiment",
+    "format_figure",
+    "format_table",
+]

@@ -1,0 +1,147 @@
+"""Command-line figure regeneration: ``python -m repro.experiments <figure>``.
+
+Examples::
+
+    python -m repro.experiments fig03            # quick-scale reproduction
+    python -m repro.experiments fig15 --paper    # exact caption parameters
+    python -m repro.experiments rocketfuel
+    python -m repro.experiments --list
+
+Quick scale shrinks network sizes, horizons and run counts to keep any
+single figure under roughly a minute while preserving its qualitative
+shape; ``--paper`` uses the caption parameters recorded in
+:mod:`repro.experiments.figures`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ablations, figures
+from repro.experiments.reporting import format_figure
+
+#: figure id -> (callable, quick-scale overrides)
+_REGISTRY: dict = {
+    "fig01": (figures.figure01, dict(n=300, period=10, sojourn=10, horizon=400,
+                                     sample_every=10)),
+    "fig02": (figures.figure02, dict(n=200, period=10, sojourn=10, horizon=400,
+                                     sample_every=10)),
+    "fig03": (figures.figure03, dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)),
+    "fig04": (figures.figure04, dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)),
+    "fig05": (figures.figure05, dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)),
+    "fig06": (figures.figure06, dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)),
+    "fig07": (figures.figure07, dict(periods=(4, 8, 12), n=300, horizon=300,
+                                     sojourn=10, runs=3)),
+    "fig08": (figures.figure08, dict(lambdas=(1, 5, 20, 50), n=100, period=8,
+                                     horizon=400, runs=3)),
+    "fig09": (figures.figure09, dict(lambdas=(1, 5, 20, 50), n=100, period=8,
+                                     horizon=400, runs=3)),
+    "fig10": (figures.figure10, dict(lambdas=(1, 5, 20, 50), n=100, period=8,
+                                     horizon=400, runs=3)),
+    "fig11": (figures.figure11, dict(lambdas=(1, 5, 20, 50, 100, 200), runs=5)),
+    "fig12": (figures.figure12, dict(n=100, horizon=300, max_servers=10)),
+    "fig13": (figures.figure13, dict(runs=5)),
+    "fig14": (figures.figure14, dict(runs=5)),
+    "fig15": (figures.figure15, dict(runs=5)),
+    "fig16": (figures.figure16, dict(runs=5)),
+    "fig17": (figures.figure17, dict(runs=5)),
+    "fig18": (figures.figure18, dict(runs=5)),
+    "fig19": (figures.figure19, dict(runs=5)),
+    "rocketfuel": (figures.rocketfuel_table, dict(horizon=400, runs=2)),
+    "abl-routing": (ablations.ablation_routing, dict(sizes=(50, 100), horizon=200,
+                                                     runs=3)),
+    "abl-cache": (ablations.ablation_cache_size, dict(cache_sizes=(1, 3, 8), n=100,
+                                                      horizon=300, runs=3)),
+    "abl-threshold": (ablations.ablation_threshold, dict(factors=(0.5, 2.0, 8.0),
+                                                         n=100, horizon=300, runs=3)),
+    "abl-migration": (ablations.ablation_migration_model, dict(runs=3)),
+    "abl-mobility": (ablations.ablation_mobility_correlation,
+                     dict(correlations=(0.0, 0.5, 1.0), n=60, horizon=250, runs=3)),
+    "abl-beta": (ablations.ablation_beta_over_c,
+                 dict(ratios=(0.1, 0.5, 1.0, 10.0), n=60, horizon=250, runs=3)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a figure/table of the paper's evaluation.",
+    )
+    parser.add_argument(
+        "figure",
+        nargs="?",
+        help="figure id (fig01..fig19, rocketfuel, abl-*); see --list",
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the exact caption parameters instead of the quick scale",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render the series as an ASCII chart",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figure ids"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list or not args.figure:
+        for name, (fn, _quick) in sorted(_REGISTRY.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<14} {doc}")
+        return 0
+
+    key = args.figure.lower()
+    if key == "all":
+        return _run_all(args)
+    if key not in _REGISTRY:
+        print(f"unknown figure {args.figure!r}; use --list", file=sys.stderr)
+        return 2
+
+    _run_one(key, args)
+    return 0
+
+
+def _run_one(key: str, args) -> None:
+    fn, quick = _REGISTRY[key]
+    kwargs = {} if args.paper else dict(quick)
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+
+    started = time.perf_counter()
+    result = fn(**kwargs)
+    elapsed = time.perf_counter() - started
+    print(format_figure(result))
+    if args.plot:
+        from repro.experiments.plotting import render_figure_chart
+
+        print()
+        print(render_figure_chart(result))
+    print(f"  ({elapsed:.1f}s, {'paper' if args.paper else 'quick'} scale)")
+
+
+def _run_all(args) -> int:
+    """Regenerate every registered figure in sequence (`all`)."""
+    started = time.perf_counter()
+    for i, key in enumerate(sorted(_REGISTRY)):
+        if i:
+            print()
+        _run_one(key, args)
+    total = time.perf_counter() - started
+    print(f"\nregenerated {len(_REGISTRY)} experiments in {total:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""ASCII line charts for figure results — plots without a display server.
+
+The reproduction runs in terminals and CI logs, so instead of matplotlib
+the reporting stack renders :class:`~repro.experiments.runner.FigureResult`
+series as fixed-width ASCII charts: one marker per series, a labelled y
+axis, and the sweep values along x. Used by the CLI's ``--plot`` flag and
+handy in notebooks-over-ssh; the tabular renderer in
+:mod:`repro.experiments.reporting` remains the precise view.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.runner import FigureResult
+
+__all__ = ["ascii_chart", "render_figure_chart"]
+
+#: Series markers, assigned in order.
+_MARKERS = "ox*+#%@&"
+
+
+def ascii_chart(
+    series: "dict[str, list[float]]",
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render named numeric series as an ASCII chart.
+
+    All series share the x axis by index (they must have equal lengths) and
+    the y axis is scaled to the joint min/max. Returns a multi-line string;
+    a legend line maps markers to series names.
+
+    Args:
+        series: mapping name -> values; at least one non-empty series.
+        width: plot area width in characters.
+        height: plot area height in rows.
+        y_label: optional axis annotation shown above the axis.
+    """
+    if not series:
+        raise ValueError("ascii_chart needs at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValueError("series are empty")
+    if width < 8 or height < 4:
+        raise ValueError("chart needs width >= 8 and height >= 4")
+
+    values = np.asarray([list(v) for v in series.values()], dtype=float)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise ValueError("series contain no finite values")
+    lo, hi = float(finite.min()), float(finite.max())
+    if math.isclose(lo, hi):
+        lo, hi = lo - 0.5, hi + 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    for row_series, marker in zip(values, _MARKERS):
+        for i, value in enumerate(row_series):
+            if not math.isfinite(value):
+                continue
+            x = round(i * (width - 1) / max(n_points - 1, 1))
+            y = round((value - lo) / (hi - lo) * (height - 1))
+            row = height - 1 - y
+            cell = grid[row][x]
+            grid[row][x] = marker if cell in (" ", marker) else "?"
+
+    gutter = max(len(f"{hi:.4g}"), len(f"{lo:.4g}"))
+    lines = []
+    if y_label:
+        lines.append(f"{'':>{gutter}} {y_label}")
+    for row in range(height):
+        if row == 0:
+            label = f"{hi:.4g}"
+        elif row == height - 1:
+            label = f"{lo:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(grid[row]))
+    lines.append(f"{'':>{gutter}} +" + "-" * width)
+
+    legend = "   ".join(
+        f"{marker}={name}" for name, marker in zip(series, _MARKERS)
+    )
+    lines.append(f"{'':>{gutter}}  {legend}")
+    return "\n".join(lines)
+
+
+def render_figure_chart(
+    result: FigureResult, width: int = 64, height: int = 16
+) -> str:
+    """Chart a :class:`FigureResult`: title, plot, and the x-value range."""
+    chart = ascii_chart(
+        {name: list(result.series[name]) for name in result.series_names},
+        width=width,
+        height=height,
+    )
+    xs = result.x_values
+    footer = f"{result.x_label}: {xs[0]} .. {xs[-1]} ({len(xs)} points)"
+    return f"[{result.figure}] {result.title}\n{chart}\n{footer}"

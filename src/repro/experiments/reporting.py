@@ -1,0 +1,86 @@
+"""Plain-text rendering of figure results.
+
+The benchmark harness prints, for every reproduced figure, the same rows or
+series the paper plots; these helpers format them as aligned ASCII tables so
+``pytest benchmarks/ --benchmark-only`` output doubles as the experiment
+report (EXPERIMENTS.md quotes them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import FigureResult
+
+__all__ = ["format_table", "format_figure"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    min_width: int = 6,
+) -> str:
+    """Align ``rows`` under ``headers``; floats rendered with 4 significant digits."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(min_width, len(str(h)), *(len(r[i]) for r in rendered))
+        if rendered
+        else max(min_width, len(str(h)))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_figure(result: FigureResult, show_errors: bool = True) -> str:
+    """Render a :class:`FigureResult` as a titled table.
+
+    One row per sweep point, one column per series; ``±`` columns appear for
+    series with non-zero standard errors when ``show_errors`` is set.
+    """
+    headers: list[object] = [result.x_label]
+    use_errors = {
+        name: show_errors
+        and name in result.errors
+        and any(e > 0 for e in result.errors[name])
+        for name in result.series_names
+    }
+    for name in result.series_names:
+        headers.append(name)
+        if use_errors[name]:
+            headers.append("±")
+
+    rows = []
+    for i, x in enumerate(result.x_values):
+        row: list[object] = [x]
+        for name in result.series_names:
+            row.append(result.series[name][i])
+            if use_errors[name]:
+                row.append(result.errors[name][i])
+        rows.append(row)
+
+    title = f"[{result.figure}] {result.title}"
+    body = format_table(headers, rows)
+    if result.notes:
+        return f"{title}\n{body}\n  note: {result.notes}"
+    return f"{title}\n{body}"

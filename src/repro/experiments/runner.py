@@ -1,0 +1,134 @@
+"""Experiment engine: seeded multi-run parameter sweeps (§V-B's methodology).
+
+Every quantitative figure of the paper is a sweep: vary one parameter
+(network size, λ, T), run several independent replicates per point, and
+average the total costs per algorithm. :func:`sweep_experiment` is that
+engine; a figure module only supplies the *replicate function* mapping
+``(x, rng) -> {series name: value}``.
+
+Determinism: replicate ``j`` of sweep point ``i`` always receives the same
+child generator (derived from one master seed through
+``numpy.random.SeedSequence`` spawning), so figure results are exactly
+reproducible and independent of how many other points are evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import mean_stderr
+
+__all__ = ["FigureResult", "sweep_experiment"]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """The reproduced data behind one paper figure (or table).
+
+    Attributes:
+        figure: short identifier, e.g. ``"fig15"``.
+        title: human-readable description.
+        x_label: meaning of :attr:`x_values`.
+        x_values: sweep points (or time stamps for trajectory figures).
+        series: mapping series name → y value per sweep point.
+        errors: mapping series name → standard error per sweep point
+            (empty for single-run figures).
+        notes: free-text observations (paper expectation, caveats).
+    """
+
+    figure: str
+    title: str
+    x_label: str
+    x_values: tuple
+    series: Mapping[str, tuple]
+    errors: Mapping[str, tuple] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values for "
+                    f"{len(self.x_values)} x points"
+                )
+        for name, values in self.errors.items():
+            if name not in self.series:
+                raise ValueError(f"errors given for unknown series {name!r}")
+            if len(values) != len(self.x_values):
+                raise ValueError(f"errors for {name!r} misaligned with x values")
+
+    def y(self, name: str) -> tuple:
+        """The y series called ``name``."""
+        return tuple(self.series[name])
+
+    @property
+    def series_names(self) -> tuple[str, ...]:
+        """All series names in insertion order."""
+        return tuple(self.series.keys())
+
+
+def sweep_experiment(
+    figure: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    replicate: Callable[[object, np.random.Generator], Mapping[str, float]],
+    runs: int = 5,
+    seed: int = 0,
+    notes: str = "",
+) -> FigureResult:
+    """Run ``replicate`` ``runs`` times per sweep point and average.
+
+    Args:
+        figure/title/x_label: metadata copied into the result.
+        x_values: the sweep points.
+        replicate: one independent experiment at a sweep point; returns a
+            mapping of series name to measured value. Every replicate must
+            return the same set of keys.
+        runs: replicates per point (the paper uses 5 or 10).
+        seed: master seed; see module docstring for the derivation scheme.
+        notes: carried through to the result.
+
+    Returns:
+        A :class:`FigureResult` with per-series means and standard errors.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    x_values = list(x_values)
+    children = np.random.SeedSequence(seed).spawn(len(x_values) * runs)
+
+    collected: "dict[str, list[list[float]]]" = {}
+    for i, x in enumerate(x_values):
+        point_samples: dict[str, list[float]] = {}
+        for j in range(runs):
+            rng = np.random.default_rng(children[i * runs + j])
+            sample = replicate(x, rng)
+            for name, value in sample.items():
+                point_samples.setdefault(name, []).append(float(value))
+        if collected and set(point_samples) != set(collected):
+            raise RuntimeError(
+                f"replicate at x={x!r} returned series {sorted(point_samples)}, "
+                f"expected {sorted(collected)}"
+            )
+        for name, values in point_samples.items():
+            collected.setdefault(name, []).append(values)
+
+    series = {}
+    errors = {}
+    for name, per_point in collected.items():
+        stats = [mean_stderr(values) for values in per_point]
+        series[name] = tuple(s.mean for s in stats)
+        errors[name] = tuple(s.stderr for s in stats)
+
+    return FigureResult(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        x_values=tuple(x_values),
+        series=series,
+        errors=errors,
+        notes=notes,
+    )

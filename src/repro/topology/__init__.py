@@ -1,0 +1,33 @@
+"""Substrate network model and topology generators (§II-B, §V-A).
+
+The substrate is the physical network managed by the infrastructure provider:
+nodes with strengths, links with latencies and bandwidths, and a subset of
+access points where terminal requests enter. All algorithms consume the
+cached all-pairs latency matrix exposed by :class:`Substrate`.
+"""
+
+from repro.topology.generators import (
+    erdos_renyi,
+    grid,
+    line,
+    random_tree,
+    ring,
+    star,
+)
+from repro.topology.rocketfuel import att_like_topology, load_rocketfuel
+from repro.topology.substrate import T1_MBPS, T2_MBPS, Link, Substrate
+
+__all__ = [
+    "Link",
+    "Substrate",
+    "T1_MBPS",
+    "T2_MBPS",
+    "erdos_renyi",
+    "line",
+    "ring",
+    "star",
+    "grid",
+    "random_tree",
+    "att_like_topology",
+    "load_rocketfuel",
+]

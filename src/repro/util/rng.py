@@ -1,0 +1,47 @@
+"""Seeded random-number-generator plumbing.
+
+All stochastic code in the library accepts a ``seed`` argument that may be
+
+* ``None`` — fresh OS entropy (only for interactive exploration),
+* an ``int`` — deterministic, the common case in experiments and tests, or
+* an existing :class:`numpy.random.Generator` — passed through unchanged so
+  that callers can share one stream across components.
+
+Experiments that average over several runs derive one independent child
+generator per run via :func:`spawn_rngs`, which uses
+:class:`numpy.random.SeedSequence` spawning so the runs are statistically
+independent yet reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing a ``Generator`` returns it unchanged (no copy), so stateful
+    sharing between components is explicit at the call site.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is not None and not isinstance(seed, (int, np.integer)):
+        raise TypeError(
+            f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+        )
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one integer ``seed``.
+
+    Used by the experiment runner: run ``i`` of a multi-run experiment always
+    sees the same stream regardless of how many total runs are requested.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

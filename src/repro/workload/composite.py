@@ -1,0 +1,115 @@
+"""Composing demand scenarios: overlays and time-phased mixtures.
+
+Real services rarely see one clean pattern; §II-D's sources of dynamics
+(time-zone effects *and* user mobility) coexist. These combinators build
+richer demand out of the primitive generators without touching them:
+
+* :class:`OverlayScenario` — the union of several generators' rounds
+  (e.g. a commuter surge *on top of* diffuse background traffic);
+* :class:`PhasedScenario` — switch generators at fixed round boundaries
+  (e.g. a flash-crowd regime between two quiet regimes), for studying how
+  quickly the online algorithms re-converge after a regime change.
+
+Both are themselves :class:`~repro.workload.base.RequestGenerator`
+implementations, so they compose recursively and run through
+``generate_trace`` like any primitive scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.workload.base import RequestGenerator, Trace
+
+__all__ = ["OverlayScenario", "PhasedScenario"]
+
+
+@dataclass
+class OverlayScenario:
+    """Union of several scenarios' demand, round by round.
+
+    Args:
+        parts: the generators to overlay (at least one). Each receives its
+            own independent child RNG derived from the generate() stream, so
+            an overlay is reproducible and its parts are decoupled.
+    """
+
+    parts: Sequence[RequestGenerator]
+    scenario_name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("OverlayScenario needs at least one part")
+        names = "+".join(getattr(p, "scenario_name", type(p).__name__)
+                         for p in self.parts)
+        self.scenario_name = f"overlay({names})"
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
+        """Generate all parts and concatenate their rounds element-wise."""
+        children = rng.spawn(len(self.parts))
+        traces = [
+            part.generate(horizon, child)
+            for part, child in zip(self.parts, children)
+        ]
+        rounds = []
+        for t in range(horizon):
+            rounds.append(np.concatenate([trace[t] for trace in traces]))
+        return Trace(
+            tuple(rounds),
+            scenario_name=self.scenario_name,
+            metadata={
+                "scenario": "overlay",
+                "parts": [trace.metadata for trace in traces],
+            },
+        )
+
+
+@dataclass
+class PhasedScenario:
+    """Sequential regimes: one generator per time segment.
+
+    Args:
+        phases: (duration_rounds, generator) pairs; the final phase absorbs
+            any remaining horizon, and generation stops early if the horizon
+            ends sooner.
+    """
+
+    phases: Sequence[tuple[int, RequestGenerator]]
+    scenario_name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("PhasedScenario needs at least one phase")
+        for duration, _part in self.phases:
+            if duration < 1:
+                raise ValueError(f"phase durations must be >= 1, got {duration}")
+        names = ",".join(
+            f"{d}x{getattr(p, 'scenario_name', type(p).__name__)}"
+            for d, p in self.phases
+        )
+        self.scenario_name = f"phased({names})"
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
+        """Generate each phase with its own child RNG and stitch them."""
+        children = rng.spawn(len(self.phases))
+        rounds: list[np.ndarray] = []
+        remaining = horizon
+        for i, ((duration, part), child) in enumerate(zip(self.phases, children)):
+            if remaining <= 0:
+                break
+            is_last = i == len(self.phases) - 1
+            span = remaining if is_last else min(duration, remaining)
+            trace = part.generate(span, child)
+            rounds.extend(trace.rounds)
+            remaining -= span
+        return Trace(
+            tuple(rounds),
+            scenario_name=self.scenario_name,
+            metadata={
+                "scenario": "phased",
+                "phases": [d for d, _p in self.phases],
+            },
+        )

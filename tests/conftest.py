@@ -1,0 +1,96 @@
+"""Shared fixtures: small substrates, cost models and traces.
+
+Everything here is deterministic (fixed seeds) so test failures reproduce
+exactly. The substrates are deliberately tiny — the algorithmic invariants
+they exercise do not depend on scale, and OPT needs small state spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostModel
+from repro.topology.generators import erdos_renyi, grid, line, ring, star
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+from repro.workload.timezones import TimeZoneScenario
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def line5():
+    """5-node unit-latency path: the paper's OPT topology."""
+    return line(5, seed=0)
+
+
+@pytest.fixture
+def line5_latency():
+    """5-node path with random latencies (the ratio-figure substrate)."""
+    return line(5, seed=0, unit_latency=False, latency_range=(5, 20))
+
+
+@pytest.fixture
+def ring6():
+    return ring(6, seed=0)
+
+
+@pytest.fixture
+def star5():
+    return star(5, seed=0)
+
+
+@pytest.fixture
+def grid9():
+    return grid(3, 3, seed=0)
+
+
+@pytest.fixture
+def er30():
+    """A small random substrate with non-trivial distances."""
+    return erdos_renyi(30, p=0.1, seed=7)
+
+
+@pytest.fixture
+def costs():
+    """The paper's default β=40 < c=400 model."""
+    return CostModel.paper_default()
+
+
+@pytest.fixture
+def costs_expensive():
+    """The β=400 > c=40 regime."""
+    return CostModel.migration_expensive()
+
+
+@pytest.fixture
+def commuter_trace_line5(line5):
+    scenario = CommuterScenario(line5, period=4, sojourn=5, dynamic_load=True)
+    return generate_trace(scenario, 60, seed=3)
+
+
+@pytest.fixture
+def timezone_trace_line5(line5):
+    scenario = TimeZoneScenario(
+        line5, period=4, sojourn=5, requests_per_round=3
+    )
+    return generate_trace(scenario, 60, seed=4)
+
+
+@pytest.fixture
+def tiny_trace():
+    """A hand-written 5-round trace on nodes 0..4."""
+    return Trace(
+        (
+            np.array([0, 0, 1]),
+            np.array([4]),
+            np.array([], dtype=np.int64),
+            np.array([2, 3, 4, 4]),
+            np.array([1]),
+        ),
+        scenario_name="tiny",
+    )

@@ -1,0 +1,67 @@
+"""Smoke tests for the ablation experiments (scaled-down parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestRoutingAblation:
+    def test_load_aware_never_worse(self):
+        result = ablations.ablation_routing(
+            sizes=(30,), horizon=60, sojourn=5, runs=2, seed=0
+        )
+        near = result.y("nearest")
+        aware = result.y("load-aware")
+        # load-aware routing can only help under convex load
+        assert aware[0] <= near[0] * 1.02
+
+
+class TestCacheAblation:
+    def test_structure(self):
+        result = ablations.ablation_cache_size(
+            cache_sizes=(1, 3), n=40, horizon=80, sojourn=5, runs=2, seed=1
+        )
+        assert result.x_values == (1, 3)
+        assert set(result.series) == {"ONTH", "ONBR"}
+        assert all(np.isfinite(result.y("ONTH")))
+
+
+class TestThresholdAblation:
+    def test_structure(self):
+        result = ablations.ablation_threshold(
+            factors=(1.0, 4.0), n=40, horizon=80, sojourn=5, runs=2, seed=2
+        )
+        assert result.x_values == (1.0, 4.0)
+        assert all(v > 0 for v in result.y("ONBR total"))
+
+
+class TestMigrationModelAblation:
+    def test_both_models_run(self):
+        result = ablations.ablation_migration_model(
+            horizon=60, sojourn=5, period=4, requests_per_round=5, runs=2, seed=3
+        )
+        assert set(result.series) == {"constant β", "bandwidth β(u,v)"}
+        for name in result.series_names:
+            assert result.y(name)[0] > 0
+
+
+class TestMobilityAblation:
+    def test_adaptivity_gap_reported(self):
+        result = ablations.ablation_mobility_correlation(
+            correlations=(0.0, 1.0), n=40, n_users=8, horizon=100, runs=2, seed=4
+        )
+        assert set(result.series) == {"ONTH", "OFFSTAT", "OFFSTAT/ONTH"}
+        ratios = result.y("OFFSTAT/ONTH")
+        assert all(np.isfinite(ratios))
+
+
+class TestBetaOverCAblation:
+    def test_migrations_vanish_beyond_parity(self):
+        result = ablations.ablation_beta_over_c(
+            ratios=(0.1, 1.0, 10.0), n=50, horizon=200, runs=2, seed=5
+        )
+        migrations = dict(zip(result.x_values, result.y("migrations")))
+        # β/c > 1: the pricer never migrates (§II-C model invariant)
+        assert migrations[10.0] == 0.0
+        assert all(v > 0 for v in result.y("ONTH total"))

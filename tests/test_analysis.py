@@ -1,0 +1,97 @@
+"""Tests for repro.analysis (competitive ratios and statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.onth import OnTH
+from repro.analysis.competitive import competitive_ratio_vs_opt, cost_ratio
+from repro.analysis.stats import (
+    average_breakdown,
+    average_total,
+    mean_stderr,
+)
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.workload.base import generate_trace
+from repro.workload.commuter import CommuterScenario
+
+
+class TestCostRatio:
+    def test_basic(self):
+        assert cost_ratio(10.0, 5.0) == 2.0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            cost_ratio(10.0, 0.0)
+
+    def test_rejects_negative_denominator(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            cost_ratio(10.0, -3.0)
+
+
+class TestCompetitiveRatio:
+    def test_ratio_at_least_one(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 50, seed=1)
+        ratio, policy_cost, opt_cost = competitive_ratio_vs_opt(
+            line5_latency, OnTH(), trace, costs, seed=0
+        )
+        assert ratio >= 1.0 - 1e-9
+        assert policy_cost == pytest.approx(ratio * opt_cost)
+
+    def test_default_cost_model(self, line5_latency):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 30, seed=2)
+        ratio, _, _ = competitive_ratio_vs_opt(line5_latency, OnTH(), trace)
+        assert ratio >= 1.0 - 1e-9
+
+
+class TestMeanStderr:
+    def test_single_value(self):
+        out = mean_stderr([4.0])
+        assert out.mean == 4.0 and out.stderr == 0.0 and out.n == 1
+
+    def test_known_values(self):
+        out = mean_stderr([1.0, 2.0, 3.0])
+        assert out.mean == pytest.approx(2.0)
+        assert out.stderr == pytest.approx(1.0 / np.sqrt(3))
+        assert out.n == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            mean_stderr([])
+
+    def test_str_format(self):
+        assert "±" in str(mean_stderr([1.0, 3.0]))
+
+
+class TestRunAggregation:
+    def make_runs(self, line5, costs):
+        scenario = CommuterScenario(line5, period=4, sojourn=3)
+        runs = []
+        for seed in range(3):
+            trace = generate_trace(scenario, 20, seed=seed)
+            runs.append(simulate(line5, OnTH(), trace, costs))
+        return runs
+
+    def test_average_total(self, line5, costs):
+        runs = self.make_runs(line5, costs)
+        stat = average_total(runs)
+        assert stat.n == 3
+        assert stat.mean == pytest.approx(
+            np.mean([r.total_cost for r in runs])
+        )
+
+    def test_average_breakdown_components(self, line5, costs):
+        runs = self.make_runs(line5, costs)
+        bd = average_breakdown(runs)
+        assert bd.access == pytest.approx(
+            np.mean([r.breakdown.access for r in runs])
+        )
+        assert bd.total == pytest.approx(
+            np.mean([r.total_cost for r in runs])
+        )
+
+    def test_average_breakdown_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            average_breakdown([])

@@ -1,0 +1,142 @@
+"""Tests for the beam-search offline planner (repro.algorithms.beamopt)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.beamopt import BeamOpt
+from repro.algorithms.offstat import OffStat
+from repro.algorithms.opt import Opt
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import erdos_renyi, line
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+from repro.workload.timezones import TimeZoneScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+class TestConsistency:
+    def test_planned_cost_equals_simulated_ledger(
+        self, line5_latency, costs, commuter_trace_line5
+    ):
+        # regenerate the commuter trace on the latency line for interest
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 60, seed=3)
+        planner = BeamOpt(beam_width=32)
+        result = simulate(line5_latency, planner, trace, costs)
+        assert result.total_cost == pytest.approx(planner.planned_cost)
+
+    def test_plan_length(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 25, seed=4)
+        planner = BeamOpt()
+        simulate(line5_latency, planner, trace, costs)
+        assert len(planner.plan) == 25
+
+    def test_requires_prepare(self, line5, costs, rng):
+        with pytest.raises(RuntimeError, match="prepare"):
+            BeamOpt().reset(line5, costs, rng)
+
+    def test_unsolved_access_raises(self):
+        with pytest.raises(RuntimeError, match="not been solved"):
+            BeamOpt().planned_cost
+
+
+class TestQualityBounds:
+    def test_upper_bounds_opt(self, line5_latency, costs):
+        """Beam search can never beat the exact optimum."""
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 50, seed=5)
+        opt_cost, _ = Opt.solve(line5_latency, trace, costs)
+        beam = simulate(line5_latency, BeamOpt(beam_width=16), trace, costs)
+        assert beam.total_cost >= opt_cost - 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_wide_beam_recovers_near_optimal_cost(self, seed, line5_latency, costs):
+        """A generous beam on a tiny graph lands within 10% of OPT."""
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=10)
+        trace = generate_trace(scenario, 60, seed=seed)
+        opt_cost, _ = Opt.solve(line5_latency, trace, costs)
+        beam = simulate(line5_latency, BeamOpt(beam_width=256), trace, costs)
+        assert beam.total_cost <= opt_cost * 1.10
+
+    def test_wider_beam_never_worse(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 60, seed=6)
+        narrow = simulate(line5_latency, BeamOpt(beam_width=2), trace, costs)
+        wide = simulate(line5_latency, BeamOpt(beam_width=128), trace, costs)
+        assert wide.total_cost <= narrow.total_cost * 1.001
+
+    def test_beats_offstat_on_shifting_demand(self):
+        """On a clearly dynamic instance the planner exploits flexibility."""
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=10, creation=100, run_active=1, run_inactive=0.5)
+        rounds = [[0, 0]] * 40 + [[8, 8]] * 40
+        trace = trace_of(*rounds)
+        beam = simulate(sub, BeamOpt(beam_width=32), trace, cm)
+        offstat = simulate(sub, OffStat(), trace, cm)
+        assert beam.total_cost <= offstat.total_cost + 1e-9
+
+
+class TestScale:
+    def test_runs_on_graphs_beyond_opt(self, costs):
+        """200-node substrate: far outside OPT's 3^n space, fine for beam."""
+        sub = erdos_renyi(200, seed=9)
+        scenario = TimeZoneScenario(sub, period=4, sojourn=10, requests_per_round=8)
+        trace = generate_trace(scenario, 80, seed=10)
+        result = simulate(sub, BeamOpt(beam_width=24), trace, costs)
+        assert result.rounds == 80
+        assert np.isfinite(result.total_cost)
+
+    def test_max_servers_respected(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=3)
+        trace = generate_trace(scenario, 40, seed=11)
+        planner = BeamOpt(beam_width=32, max_servers=1)
+        simulate(line5_latency, planner, trace, costs)
+        assert all(cfg.n_servers <= 1 for cfg in planner.plan)
+
+    def test_beam_width_validated(self):
+        with pytest.raises(ValueError, match="beam_width"):
+            BeamOpt(beam_width=0)
+
+
+class TestSuccessorPricing:
+    """The hand-assigned successor deltas must match the general pricer."""
+
+    @pytest.mark.parametrize("expensive", [False, True])
+    def test_deltas_match_price_transition(self, expensive):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.config import Configuration
+        from repro.core.transitions import price_transition
+
+        sub = line(9, seed=0)
+        costs = (
+            CostModel.migration_expensive()
+            if expensive
+            else CostModel.paper_default()
+        )
+        planner = BeamOpt(beam_width=8)
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            active=st.sets(st.integers(0, 8), min_size=1, max_size=4),
+            inactive=st.sets(st.integers(0, 8), max_size=2),
+            targets=st.lists(st.integers(0, 8), max_size=4, unique=True),
+        )
+        def check(active, inactive, targets):
+            inactive = inactive - active
+            act, inact = frozenset(active), frozenset(inactive)
+            old = Configuration.of(act, inact)
+            for new_act, new_inact, delta in planner._successors(
+                sub, costs, act, inact, list(targets)
+            ):
+                new = Configuration.of(new_act, new_inact)
+                charged = price_transition(old, new, costs).cost
+                assert charged == pytest.approx(delta), (old, new)
+
+        check()

@@ -1,0 +1,85 @@
+"""Tests for the figure-regeneration CLI (python -m repro.experiments)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.__main__ import _REGISTRY, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig03"])
+        assert args.figure == "fig03"
+        assert not args.paper
+        assert args.seed is None
+
+    def test_paper_flag(self):
+        args = build_parser().parse_args(["fig15", "--paper"])
+        assert args.paper
+
+    def test_seed_override(self):
+        args = build_parser().parse_args(["fig15", "--seed", "7"])
+        assert args.seed == 7
+
+
+class TestRegistry:
+    def test_all_19_figures_present(self):
+        for i in range(1, 20):
+            assert f"fig{i:02d}" in _REGISTRY
+
+    def test_rocketfuel_present(self):
+        assert "rocketfuel" in _REGISTRY
+
+    def test_ablations_present(self):
+        assert {k for k in _REGISTRY if k.startswith("abl-")} == {
+            "abl-routing", "abl-cache", "abl-threshold",
+            "abl-migration", "abl-mobility", "abl-beta",
+        }
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "rocketfuel" in out
+
+    def test_no_figure_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig19" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_runs_a_small_figure(self, capsys):
+        assert main(["fig13", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig13]" in out
+        assert "OFFSTAT" in out and "OPT" in out
+
+    def test_module_invocation(self):
+        """`python -m repro.experiments --list` works as a subprocess."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "--list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "fig11" in proc.stdout
+
+
+class TestRunAll:
+    def test_all_command_exists(self, capsys, monkeypatch):
+        """`all` iterates the registry; patch it down to one cheap entry."""
+        import repro.experiments.__main__ as cli
+
+        monkeypatch.setattr(
+            cli, "_REGISTRY", {"fig13": cli._REGISTRY["fig13"]}
+        )
+        assert main(["all", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig13]" in out
+        assert "regenerated 1 experiments" in out

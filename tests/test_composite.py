@@ -1,0 +1,120 @@
+"""Tests for scenario combinators (repro.workload.composite)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import line
+from repro.workload.base import generate_trace
+from repro.workload.commuter import CommuterScenario
+from repro.workload.composite import OverlayScenario, PhasedScenario
+from repro.workload.timezones import TimeZoneScenario
+
+
+@pytest.fixture
+def sub():
+    return line(16, seed=0)
+
+
+@pytest.fixture
+def commuter(sub):
+    return CommuterScenario(sub, period=4, sojourn=2, dynamic_load=False)
+
+
+@pytest.fixture
+def timezone(sub):
+    return TimeZoneScenario(sub, period=4, sojourn=2, requests_per_round=3)
+
+
+class TestOverlay:
+    def test_volumes_add(self, commuter, timezone):
+        overlay = OverlayScenario([commuter, timezone])
+        trace = generate_trace(overlay, 10, seed=0)
+        # static commuter carries 4/round, timezone 3/round
+        assert all(r.size == 7 for r in trace)
+
+    def test_three_way_overlay(self, commuter, timezone):
+        overlay = OverlayScenario([commuter, timezone, timezone])
+        trace = generate_trace(overlay, 5, seed=1)
+        assert all(r.size == 10 for r in trace)
+
+    def test_nested_overlay(self, commuter, timezone):
+        inner = OverlayScenario([commuter, timezone])
+        outer = OverlayScenario([inner, timezone])
+        trace = generate_trace(outer, 4, seed=2)
+        assert all(r.size == 10 for r in trace)
+
+    def test_deterministic(self, commuter, timezone):
+        overlay = OverlayScenario([commuter, timezone])
+        a = generate_trace(overlay, 8, seed=3)
+        b = generate_trace(overlay, 8, seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_parts_independent_of_each_other(self, sub, commuter):
+        """Adding a part must not change another part's stream."""
+        tz = TimeZoneScenario(sub, period=4, sojourn=2, requests_per_round=3)
+        solo = generate_trace(OverlayScenario([commuter]), 6, seed=4)
+        duo = generate_trace(OverlayScenario([commuter, tz]), 6, seed=4)
+        for s, d in zip(solo, duo):
+            np.testing.assert_array_equal(s, d[: s.size])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            OverlayScenario([])
+
+    def test_metadata_collects_parts(self, commuter, timezone):
+        trace = generate_trace(OverlayScenario([commuter, timezone]), 3, seed=5)
+        assert trace.metadata["scenario"] == "overlay"
+        assert len(trace.metadata["parts"]) == 2
+
+    def test_name_mentions_parts(self, commuter, timezone):
+        overlay = OverlayScenario([commuter, timezone])
+        assert "commuter" in overlay.scenario_name
+        assert "timezones" in overlay.scenario_name
+
+
+class TestPhased:
+    def test_phase_boundaries(self, sub, commuter, timezone):
+        phased = PhasedScenario([(4, commuter), (6, timezone)])
+        trace = generate_trace(phased, 10, seed=0)
+        assert len(trace) == 10
+        # commuter static = 4 requests/round, timezone = 3
+        assert all(trace[t].size == 4 for t in range(4))
+        assert all(trace[t].size == 3 for t in range(4, 10))
+
+    def test_last_phase_absorbs_remainder(self, commuter, timezone):
+        phased = PhasedScenario([(4, commuter), (2, timezone)])
+        trace = generate_trace(phased, 20, seed=1)
+        assert len(trace) == 20
+        assert trace[19].size == 3  # still the timezone regime
+
+    def test_horizon_shorter_than_phases(self, commuter, timezone):
+        phased = PhasedScenario([(10, commuter), (10, timezone)])
+        trace = generate_trace(phased, 6, seed=2)
+        assert len(trace) == 6
+        assert all(r.size == 4 for r in trace)
+
+    def test_deterministic(self, commuter, timezone):
+        phased = PhasedScenario([(3, commuter), (3, timezone)])
+        a = generate_trace(phased, 9, seed=3)
+        b = generate_trace(phased, 9, seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PhasedScenario([])
+
+    def test_rejects_zero_duration(self, commuter):
+        with pytest.raises(ValueError, match=">= 1"):
+            PhasedScenario([(0, commuter)])
+
+    def test_runs_through_simulator(self, sub, commuter, timezone):
+        from repro.algorithms import OnTH
+        from repro.core.costs import CostModel
+        from repro.core.simulator import simulate
+
+        phased = PhasedScenario([(15, commuter), (15, timezone)])
+        trace = generate_trace(phased, 30, seed=4)
+        result = simulate(sub, OnTH(), trace, CostModel.paper_default())
+        assert result.rounds == 30

@@ -1,0 +1,95 @@
+"""Tests for the demand-dynamics metrics (repro.analysis.demand)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.demand import churn, hotspot_dwell, spatial_spread
+from repro.topology.generators import line
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+from repro.workload.timezones import TimeZoneScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+class TestChurn:
+    def test_frozen_trace_has_zero_churn(self):
+        assert churn(trace_of([1, 2], [1, 2], [1, 2])) == 0.0
+
+    def test_full_reshuffle_has_unit_churn(self):
+        assert churn(trace_of([0], [1], [2])) == pytest.approx(1.0)
+
+    def test_half_move(self):
+        # half of the demand mass moves from node 0 to node 1
+        assert churn(trace_of([0, 0], [0, 1])) == pytest.approx(0.5)
+
+    def test_empty_rounds(self):
+        assert churn(trace_of([], [])) == 0.0
+        assert churn(trace_of([0], [])) == pytest.approx(1.0)
+
+    def test_single_round_trace(self):
+        assert churn(trace_of([0, 1])) == 0.0
+
+    def test_scale_invariant_in_volume(self):
+        """Churn compares distributions, not raw counts."""
+        small = churn(trace_of([0], [1]))
+        large = churn(trace_of([0] * 10, [1] * 10))
+        assert small == pytest.approx(large)
+
+    def test_sojourn_lowers_churn(self):
+        sub = line(16, seed=0)
+        fast = TimeZoneScenario(sub, period=4, sojourn=1, hotspot_share=1.0,
+                                requests_per_round=4)
+        slow = TimeZoneScenario(sub, period=4, sojourn=10, hotspot_share=1.0,
+                                requests_per_round=4)
+        fast_trace = generate_trace(fast, 40, seed=1)
+        slow_trace = generate_trace(slow, 40, seed=1)
+        assert churn(slow_trace, 16) < churn(fast_trace, 16)
+
+
+class TestSpatialSpread:
+    def test_concentrated_demand_has_zero_spread(self, line5):
+        assert spatial_spread(trace_of([2, 2, 2]), line5) == 0.0
+
+    def test_two_ends_of_a_path(self, line5):
+        # requests at 0 and 4: any barycentre gives total latency 4
+        spread = spatial_spread(trace_of([0, 4]), line5)
+        assert spread == pytest.approx(2.0)
+
+    def test_empty_trace(self, line5):
+        assert spatial_spread(trace_of(), line5) == 0.0
+
+    def test_fanout_increases_spread(self):
+        sub = line(33, seed=0)
+        narrow = CommuterScenario(sub, period=2, sojourn=1, dynamic_load=True)
+        wide = CommuterScenario(sub, period=8, sojourn=1, dynamic_load=True)
+        narrow_trace = generate_trace(narrow, 2, seed=0)
+        wide_trace = generate_trace(wide, 8, seed=0)
+        assert spatial_spread(wide_trace, sub) > spatial_spread(narrow_trace, sub)
+
+
+class TestHotspotDwell:
+    def test_static_trace(self):
+        trace = trace_of(*[[3, 3, 1]] * 6)
+        assert hotspot_dwell(trace) == 6.0
+
+    def test_alternating_modes(self):
+        trace = trace_of([0], [1], [0], [1])
+        assert hotspot_dwell(trace) == 1.0
+
+    def test_dwell_matches_sojourn(self):
+        sub = line(16, seed=0)
+        scenario = TimeZoneScenario(
+            sub, period=4, sojourn=5, hotspot_share=1.0, requests_per_round=3
+        )
+        trace = generate_trace(scenario, 40, seed=2)
+        assert hotspot_dwell(trace) == pytest.approx(5.0, rel=0.3)
+
+    def test_empty_trace(self):
+        assert hotspot_dwell(trace_of()) == 0.0
+
+    def test_empty_rounds_break_runs(self):
+        trace = trace_of([1], [1], [], [1], [1])
+        assert hotspot_dwell(trace) == pytest.approx(2.0)

@@ -1,0 +1,161 @@
+"""Edge-case tests across modules: the paths the main suites skirt around.
+
+Restricted access-point sets, empty rounds inside OPT/policies, offline
+tenants inside the multi-service loop, hotspot oversubscription, and other
+boundary conditions a downstream user will eventually hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import OffStat, OnBR, OnTH, Opt
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.multiservice import ServiceSpec, simulate_services
+from repro.core.simulator import simulate
+from repro.topology.generators import line
+from repro.topology.substrate import Link, Substrate
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+from repro.workload.timezones import TimeZoneScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+@pytest.fixture
+def restricted_substrate():
+    """A 6-node path where only the two ends admit terminals."""
+    links = [Link(i, i + 1, 1.0, 1.544) for i in range(5)]
+    return Substrate(6, links, access_points=[0, 5])
+
+
+class TestRestrictedAccessPoints:
+    def test_commuter_respects_access_points(self, restricted_substrate):
+        scenario = CommuterScenario(
+            restricted_substrate, period=2, sojourn=2, dynamic_load=True
+        )
+        trace = generate_trace(scenario, 12, seed=0)
+        for requests in trace:
+            assert set(requests.tolist()) <= {0, 5}
+
+    def test_commuter_center_ranking_filtered(self, restricted_substrate):
+        """The fan-out ordering only ranks admissible access points."""
+        scenario = CommuterScenario(
+            restricted_substrate, period=2, sojourn=1, dynamic_load=True
+        )
+        trace = generate_trace(scenario, 2, seed=1)
+        # phase 0 uses the single access point closest to the center (2 or 3)
+        assert trace[0].size == 1
+        assert int(trace[0][0]) in (0, 5)
+
+    def test_timezone_hotspots_are_access_points(self, restricted_substrate):
+        scenario = TimeZoneScenario(
+            restricted_substrate, period=3, sojourn=2,
+            hotspot_share=1.0, requests_per_round=4,
+        )
+        trace = generate_trace(scenario, 12, seed=2)
+        for requests in trace:
+            assert set(requests.tolist()) <= {0, 5}
+
+    def test_servers_may_sit_outside_access_points(self, restricted_substrate, costs):
+        """Fleets live on any substrate node, not just access points."""
+        from repro.algorithms import StaticPolicy
+
+        middle = Configuration.single(2)
+        trace = trace_of([0, 5], [0, 5])
+        result = simulate(
+            restricted_substrate, StaticPolicy(middle, start=middle), trace, costs
+        )
+        assert result.latency_cost[0] == pytest.approx(2.0 + 3.0)
+
+
+class TestTimezoneOversubscription:
+    def test_more_periods_than_access_points(self, line5):
+        """T > |A|: hotspots repeat across periods instead of failing."""
+        scenario = TimeZoneScenario(
+            line5, period=9, sojourn=1, hotspot_share=1.0, requests_per_round=2
+        )
+        trace = generate_trace(scenario, 18, seed=3)
+        assert len(trace) == 18
+        assert trace.max_node <= 4
+
+
+class TestEmptyRounds:
+    def test_opt_handles_empty_rounds(self, line5, costs):
+        trace = trace_of([0], [], [4], [])
+        cost, plan = Opt.solve(line5, trace, costs)
+        assert np.isfinite(cost)
+        assert len(plan) == 4
+
+    def test_online_policies_handle_empty_rounds(self, line5, costs):
+        trace = trace_of([], [], [2], [])
+        for policy in (OnTH(), OnBR()):
+            result = simulate(line5, policy, trace, costs)
+            assert result.rounds == 4
+            assert result.access_cost[0] == 0.0
+
+    def test_offstat_handles_empty_rounds(self, line5, costs):
+        trace = trace_of([], [2], [])
+        offstat = OffStat()
+        result = simulate(line5, offstat, trace, costs)
+        assert offstat.kopt >= 1
+        assert result.rounds == 3
+
+    def test_all_empty_trace(self, line5, costs):
+        trace = trace_of([], [], [])
+        result = simulate(line5, OnTH(), trace, costs)
+        # only running costs accrue
+        assert result.total_cost == pytest.approx(3 * 2.5)
+
+
+class TestMultiServiceWithOfflineTenant:
+    def test_offstat_tenant_is_prepared(self, line5, costs):
+        """Offline policies inside the multi-service loop get the trace."""
+        scenario = CommuterScenario(line5, period=4, sojourn=2)
+        trace = generate_trace(scenario, 20, seed=5)
+        offstat = OffStat()
+        results = simulate_services(
+            line5,
+            [
+                ServiceSpec("static", offstat, trace),
+                ServiceSpec("adaptive", OnTH(), trace),
+            ],
+            costs,
+            seed=1,
+        )
+        assert offstat.kopt >= 1
+        assert results["static"].rounds == 20
+        assert results["adaptive"].rounds == 20
+
+
+class TestWirelessHop:
+    def test_constant_hop_shifts_every_policy_equally(self, line5):
+        base = CostModel.paper_default()
+        hop = CostModel.paper_default(wireless_hop=2.0)
+        trace = trace_of(*[[0, 4]] * 10)
+        for policy_factory in (OnTH, OnBR):
+            plain = simulate(line5, policy_factory(), trace, base)
+            lifted = simulate(line5, policy_factory(), trace, hop)
+            expected_shift = 2.0 * trace.total_requests
+            # identical decisions => exactly the hop surcharge apart
+            assert lifted.total_cost - plain.total_cost == pytest.approx(
+                expected_shift
+            )
+
+
+class TestSingleNodeSubstrate:
+    def test_everything_degenerates_gracefully(self, costs):
+        sub = Substrate(1, [])
+        trace = trace_of([0], [0, 0])
+        result = simulate(sub, OnTH(), trace, costs)
+        assert result.latency_cost.sum() == 0.0
+        assert (result.n_active == 1).all()
+
+    def test_opt_on_single_node(self, costs):
+        sub = Substrate(1, [])
+        trace = trace_of([0], [0])
+        cost, plan = Opt.solve(sub, trace, costs)
+        # two rounds: access latency 0, load 1/round, running 2.5/round
+        assert cost == pytest.approx(2 * (1.0 + 2.5))

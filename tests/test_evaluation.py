@@ -1,0 +1,185 @@
+"""Tests for vectorised candidate evaluation (repro.core.evaluation).
+
+The key contract: the fast family evaluators agree with brute-force
+round-by-round routing through ``route_requests``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel
+from repro.core.evaluation import RequestBatch
+from repro.core.load import QuadraticLoad
+from repro.core.routing import route_requests
+from repro.topology.generators import erdos_renyi, line
+
+
+def brute_force_access(substrate, costs, rounds, active):
+    total = 0.0
+    for requests in rounds:
+        total += route_requests(substrate, active, requests, costs).access_cost
+    return total
+
+
+@pytest.fixture
+def sub():
+    return erdos_renyi(15, p=0.3, seed=11)
+
+
+@pytest.fixture
+def rounds():
+    rng = np.random.default_rng(5)
+    return [rng.integers(0, 15, size=rng.integers(1, 8)) for _ in range(6)]
+
+
+class TestAccumulation:
+    def test_counts(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        assert batch.n_rounds == 6
+        assert batch.total_requests == sum(len(r) for r in rounds)
+
+    def test_clear(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        batch.clear()
+        assert batch.n_rounds == 0
+        assert batch.total_requests == 0
+
+    def test_round_ids_align(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        ids = batch.round_ids
+        assert ids.size == batch.total_requests
+        for t, requests in enumerate(rounds):
+            assert (ids == t).sum() == len(requests)
+
+
+class TestExactAccessCost:
+    def test_matches_brute_force_linear(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        for active in ([0], [3, 7], [1, 5, 9]):
+            fast = batch.exact_access_cost(np.asarray(active))
+            slow = brute_force_access(sub, costs, rounds, active)
+            assert fast == pytest.approx(slow)
+
+    def test_matches_brute_force_quadratic(self, sub, rounds):
+        cm = CostModel.paper_default(load=QuadraticLoad())
+        batch = RequestBatch(sub, cm, rounds)
+        for active in ([2], [0, 8], [4, 6, 12]):
+            fast = batch.exact_access_cost(np.asarray(active))
+            slow = brute_force_access(sub, cm, rounds, active)
+            assert fast == pytest.approx(slow)
+
+    def test_includes_wireless_hop(self, sub, rounds):
+        cm = CostModel.paper_default(wireless_hop=2.0)
+        batch = RequestBatch(sub, cm, rounds)
+        base = CostModel.paper_default()
+        plain = RequestBatch(sub, base, rounds)
+        diff = batch.exact_access_cost([0]) - plain.exact_access_cost([0])
+        assert diff == pytest.approx(2.0 * batch.total_requests)
+
+    def test_empty_batch_is_zero(self, sub, costs):
+        assert RequestBatch(sub, costs).exact_access_cost([1]) == 0.0
+
+    def test_no_servers_raises(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        with pytest.raises(ValueError, match="zero active servers"):
+            batch.exact_access_cost(np.zeros(0, dtype=np.int64))
+
+
+class TestAdditionCosts:
+    def test_entries_match_exact_linear(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        active = np.asarray([3, 7])
+        vector = batch.addition_costs(active)
+        for u in range(sub.n):
+            if u in (3, 7):
+                expected = batch.exact_access_cost(active)
+            else:
+                expected = batch.exact_access_cost(np.append(active, u))
+            assert vector[u] == pytest.approx(expected), f"node {u}"
+
+    def test_argmin_valid_for_quadratic_shortlist(self, sub, rounds):
+        """For convex load the argmin must match exhaustive search."""
+        cm = CostModel.paper_default(load=QuadraticLoad())
+        batch = RequestBatch(sub, cm, rounds)
+        active = np.asarray([3, 7])
+        vector = batch.addition_costs(active)
+        best = int(np.argmin(vector))
+        exhaustive = {
+            u: batch.exact_access_cost(np.append(active, u))
+            for u in range(sub.n)
+            if u not in (3, 7)
+        }
+        true_best = min(exhaustive, key=exhaustive.get)
+        assert exhaustive[best] == pytest.approx(exhaustive[true_best])
+
+    def test_from_empty_active_set(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        vector = batch.addition_costs(np.zeros(0, dtype=np.int64))
+        for u in (0, 5, 11):
+            assert vector[u] == pytest.approx(batch.exact_access_cost([u]))
+
+    def test_empty_batch_returns_zeros(self, sub, costs):
+        vector = RequestBatch(sub, costs).addition_costs(np.asarray([1]))
+        np.testing.assert_array_equal(vector, np.zeros(sub.n))
+
+
+class TestRemovalCosts:
+    def test_matches_exact(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        active = np.asarray([1, 6, 10])
+        vector = batch.removal_costs(active)
+        for i in range(3):
+            expected = batch.exact_access_cost(np.delete(active, i))
+            assert vector[i] == pytest.approx(expected)
+
+    def test_singleton_returns_inf(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        vector = batch.removal_costs(np.asarray([4]))
+        assert np.isinf(vector).all()
+
+
+class TestMigrationCosts:
+    def test_matches_exact_linear(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        active = np.asarray([2, 9])
+        for i in range(2):
+            vector = batch.migration_costs(active, i)
+            rest = np.delete(active, i)
+            for u in range(sub.n):
+                if u in active:
+                    assert np.isinf(vector[u])
+                else:
+                    expected = batch.exact_access_cost(np.append(rest, u))
+                    assert vector[u] == pytest.approx(expected), f"server {i}->node {u}"
+
+    def test_index_out_of_range(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        with pytest.raises(IndexError):
+            batch.migration_costs(np.asarray([1]), 3)
+
+    def test_single_server_migration(self, sub, costs, rounds):
+        batch = RequestBatch(sub, costs, rounds)
+        vector = batch.migration_costs(np.asarray([5]), 0)
+        for u in (0, 8):
+            assert vector[u] == pytest.approx(batch.exact_access_cost([u]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    active=st.sets(st.integers(0, 9), min_size=1, max_size=4),
+    seed=st.integers(0, 100),
+    n_rounds=st.integers(1, 5),
+)
+def test_addition_never_increases_access(active, seed, n_rounds):
+    """Adding any server can only reduce (or keep) nearest-latency access cost."""
+    sub = line(10, seed=0)
+    cm = CostModel.paper_default()
+    rng = np.random.default_rng(seed)
+    rounds = [rng.integers(0, 10, size=4) for _ in range(n_rounds)]
+    batch = RequestBatch(sub, cm, rounds)
+    active_arr = np.asarray(sorted(active))
+    base = batch.exact_access_cost(active_arr)
+    vector = batch.addition_costs(active_arr)
+    assert (vector <= base + 1e-9).all()

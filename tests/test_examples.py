@@ -1,0 +1,59 @@
+"""Smoke tests for the example scripts in examples/.
+
+The quickstart runs end-to-end as a subprocess; the heavier examples are
+compile-checked and their main() entry points type-checked for presence so
+that a README user never hits an import error.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+ALL_SCRIPTS = sorted(EXAMPLES.glob("*.py"))
+
+
+def load_module(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestInventory:
+    def test_at_least_four_examples(self):
+        assert len(ALL_SCRIPTS) >= 4
+
+    def test_expected_scripts_exist(self):
+        names = {p.name for p in ALL_SCRIPTS}
+        assert "quickstart.py" in names
+        assert "sap_timezones.py" in names
+        assert "mobile_gaming_commuter.py" in names
+        assert "migration_value.py" in names
+
+
+@pytest.mark.parametrize("script", ALL_SCRIPTS, ids=lambda p: p.stem)
+class TestEveryExample:
+    def test_compiles(self, script):
+        source = script.read_text()
+        compile(source, str(script), "exec")
+
+    def test_has_main_and_docstring(self, script):
+        module = load_module(script)
+        assert callable(getattr(module, "main", None)), "examples expose main()"
+        assert (module.__doc__ or "").strip(), "examples document themselves"
+
+
+def test_quickstart_runs_end_to_end():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "flexibility advantage" in proc.stdout
+    assert "total cost" in proc.stdout

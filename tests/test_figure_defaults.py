@@ -1,0 +1,145 @@
+"""Regression pins for the paper-caption defaults of every figure function.
+
+The reproduction contract is that calling ``figures.figureNN()`` with no
+arguments runs the experiment with the parameters printed in the paper's
+caption (§V). These tests freeze those defaults so a refactor cannot
+silently change what "the paper's experiment" means. (DESIGN.md §4 is the
+human-readable version of this table.)
+"""
+
+import inspect
+
+import pytest
+
+from repro.experiments import figures
+
+
+def defaults_of(fn):
+    return {
+        name: parameter.default
+        for name, parameter in inspect.signature(fn).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+    }
+
+
+class TestTrajectoryCaptions:
+    def test_figure01_caption(self):
+        d = defaults_of(figures.figure01)
+        # "runtime was 1000 rounds, T = 14, network of size 1000, λ = 20"
+        assert d["horizon"] == 1000
+        assert d["period"] == 14
+        assert d["n"] == 1000
+        assert d["sojourn"] == 20
+
+    def test_figure02_caption(self):
+        d = defaults_of(figures.figure02)
+        # "runtime was 1000 rounds, T = 12, network of size 500, λ = 20"
+        assert d["horizon"] == 1000
+        assert d["period"] == 12
+        assert d["n"] == 500
+        assert d["sojourn"] == 20
+
+
+class TestSizeSweepCaptions:
+    @pytest.mark.parametrize(
+        "fn", [figures.figure03, figures.figure04, figures.figure05, figures.figure06]
+    )
+    def test_caption(self, fn):
+        d = defaults_of(fn)
+        # "runtime was 500 rounds, λ = 10, averaged over 5 runs"
+        assert d["horizon"] == 500
+        assert d["sojourn"] == 10
+        assert d["runs"] == 5
+        assert max(d["sizes"]) == 1000
+
+
+class TestParameterSweepCaptions:
+    def test_figure07_caption(self):
+        d = defaults_of(figures.figure07)
+        # "runtime 600, λ = 20, network size 1000, averaged over 10 runs"
+        assert d["horizon"] == 600
+        assert d["sojourn"] == 20
+        assert d["n"] == 1000
+        assert d["runs"] == 10
+
+    @pytest.mark.parametrize(
+        "fn", [figures.figure08, figures.figure09, figures.figure10]
+    )
+    def test_lambda_sweep_captions(self, fn):
+        d = defaults_of(fn)
+        # "runtime 900 rounds, T = 10, network size 200, averaged over 10 runs"
+        assert d["horizon"] == 900
+        assert d["period"] == 10
+        assert d["n"] == 200
+        assert d["runs"] == 10
+
+
+class TestOptFigureCaptions:
+    def test_figure11_caption(self):
+        d = defaults_of(figures.figure11)
+        # "runtime 200 rounds, in a network with five nodes, averaged over 10"
+        assert d["horizon"] == 200
+        assert d["n"] == 5
+        assert d["runs"] == 10
+
+    @pytest.mark.parametrize(
+        "fn",
+        [figures.figure13, figures.figure14, figures.figure15,
+         figures.figure16, figures.figure17],
+    )
+    def test_lambda_ratio_captions(self, fn):
+        d = defaults_of(fn)
+        # "runtime was 200 rounds, T = 4, network size 5, averaged over 10"
+        assert d["horizon"] == 200
+        assert d["period"] == 4
+        assert d["n"] == 5
+        assert d["runs"] == 10
+        # λ extends to the horizon so the largest value is a frozen pattern
+        assert max(d["lambdas"]) == d["horizon"]
+
+    @pytest.mark.parametrize("fn", [figures.figure18, figures.figure19])
+    def test_period_ratio_captions(self, fn):
+        d = defaults_of(fn)
+        # "runtime 200 rounds, λ = 10, network size five, averaged over ten"
+        assert d["horizon"] == 200
+        assert d["sojourn"] == 10
+        assert d["n"] == 5
+        assert d["runs"] == 10
+
+    def test_rocketfuel_caption(self):
+        d = defaults_of(figures.rocketfuel_table)
+        # "c = 400, β = 40, Ra = 2.5, Ri = 0.5, runtime 600 rounds, λ = 20"
+        assert d["horizon"] == 600
+        assert d["sojourn"] == 20
+
+
+class TestSharedConstants:
+    def test_default_cost_model_is_papers(self):
+        from repro.core.costs import CostModel
+
+        cm = CostModel.paper_default()
+        assert (cm.migration, cm.creation) == (40.0, 400.0)
+        assert (cm.run_active, cm.run_inactive) == (2.5, 0.5)
+
+    def test_expensive_model_swaps_constants(self):
+        from repro.core.costs import CostModel
+
+        cm = CostModel.migration_expensive()
+        assert (cm.migration, cm.creation) == (400.0, 40.0)
+
+    def test_onbr_threshold_default_is_two_c(self):
+        from repro.algorithms.onbr import OnBR
+
+        assert defaults_of(OnBR.__init__)["threshold_factor"] == 2.0
+
+    def test_onth_small_epoch_default_is_two_beta(self):
+        from repro.algorithms.onth import OnTH
+
+        assert defaults_of(OnTH.__init__)["small_epoch_factor"] == 2.0
+
+    def test_cache_defaults_match_paper(self):
+        from repro.core.servercache import InactiveServerCache
+
+        cache = InactiveServerCache()
+        assert cache.max_size == 3       # "in our simulations: size 3"
+        assert cache.expiry_epochs == 20  # "x = 20 in our simulation"

@@ -1,0 +1,138 @@
+"""Smoke tests for every figure reproduction (scaled-down parameters).
+
+Full-scale runs live in ``benchmarks/``; here each figure function is
+exercised end-to-end with tiny parameters to pin its interface and basic
+shape invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_figure
+from repro.experiments.runner import FigureResult
+
+
+class TestTrajectoryFigures:
+    def test_figure01_structure(self):
+        result = figures.figure01(
+            n=100, period=8, sojourn=5, horizon=120, sample_every=10, seed=1
+        )
+        assert isinstance(result, FigureResult)
+        assert "servers (linear load)" in result.series
+        assert "servers (quadratic load)" in result.series
+        assert len(result.x_values) == 12
+
+    def test_figure01_quadratic_uses_more_servers(self):
+        result = figures.figure01(
+            n=100, period=8, sojourn=5, horizon=200, sample_every=10, seed=1
+        )
+        linear_peak = max(result.series["servers (linear load)"])
+        quad_peak = max(result.series["servers (quadratic load)"])
+        assert quad_peak >= linear_peak
+
+    def test_figure02_static_volume(self):
+        result = figures.figure02(
+            n=100, period=8, sojourn=5, horizon=120, sample_every=10, seed=1
+        )
+        volumes = set(result.series["requests/round"])
+        assert volumes == {16}  # 2^(T/2), constant for static load
+
+
+class TestSizeSweeps:
+    @pytest.mark.parametrize(
+        "fig", [figures.figure03, figures.figure04, figures.figure05]
+    )
+    def test_series_and_shape(self, fig):
+        result = fig(sizes=(30, 60), horizon=80, sojourn=5, runs=2, seed=2)
+        assert set(result.series) == {"ONTH", "ONBR-fixed", "ONBR-dyn"}
+        assert all(v > 0 for v in result.y("ONTH"))
+
+    def test_figure06_breakdown_sums(self):
+        result = figures.figure06(sizes=(30, 60), horizon=80, sojourn=5, runs=2, seed=2)
+        for i in range(2):
+            parts = (
+                result.series["access"][i]
+                + result.series["running"][i]
+                + result.series["migration+creation"][i]
+            )
+            assert parts == pytest.approx(result.series["total"][i])
+
+    def test_figure06_access_grows_with_n(self):
+        result = figures.figure06(
+            sizes=(30, 120), horizon=100, sojourn=5, runs=2, seed=3
+        )
+        access = result.y("access")
+        assert access[1] > access[0]
+
+
+class TestParameterSweeps:
+    def test_figure07(self):
+        result = figures.figure07(
+            periods=(4, 6), n=60, horizon=60, sojourn=5, runs=2, seed=4
+        )
+        assert result.x_values == (4, 6)
+        assert set(result.series) == {"ONTH", "ONBR-fixed", "ONBR-dyn"}
+
+    @pytest.mark.parametrize(
+        "fig", [figures.figure08, figures.figure09, figures.figure10]
+    )
+    def test_lambda_sweeps(self, fig):
+        result = fig(lambdas=(2, 10), n=50, period=6, horizon=80, runs=2, seed=5)
+        assert result.x_values == (2, 10)
+        for name in ("ONTH", "ONBR-fixed", "ONBR-dyn"):
+            assert all(np.isfinite(result.y(name)))
+
+
+class TestOptFigures:
+    def test_figure11_ratios_at_least_one(self):
+        result = figures.figure11(lambdas=(2, 20), n=4, horizon=40, runs=2, seed=6)
+        for name in result.series_names:
+            assert all(v >= 1.0 - 1e-9 for v in result.y(name))
+
+    def test_figure12_curve_and_kopt(self):
+        result = figures.figure12(n=40, horizon=60, sojourn=5, max_servers=5, seed=7)
+        curve = result.y("total cost")
+        assert len(curve) == 5
+        assert "kopt" in result.notes
+
+    def test_figure13_offstat_dominates_opt(self):
+        result = figures.figure13(lambdas=(5, 40), n=4, horizon=40, runs=2, seed=8)
+        for off, opt in zip(result.y("OFFSTAT"), result.y("OPT")):
+            assert off >= opt - 1e-9
+
+    def test_figure14_same_with_expensive_migration(self):
+        result = figures.figure14(lambdas=(5,), n=4, horizon=30, runs=2, seed=9)
+        assert result.y("OFFSTAT")[0] >= result.y("OPT")[0] - 1e-9
+
+    @pytest.mark.parametrize(
+        "fig", [figures.figure15, figures.figure16, figures.figure17]
+    )
+    def test_ratio_sweeps_geq_one(self, fig):
+        result = fig(lambdas=(5, 30), n=4, horizon=40, runs=2, seed=10)
+        assert set(result.series) == {"β<c", "β>c"}
+        for name in result.series_names:
+            assert all(v >= 1.0 - 1e-9 for v in result.y(name))
+
+    @pytest.mark.parametrize("fig", [figures.figure18, figures.figure19])
+    def test_period_ratio_sweeps(self, fig):
+        result = fig(periods=(2, 4), n=4, horizon=40, runs=2, seed=11)
+        assert result.x_values == (2, 4)
+        for name in result.series_names:
+            assert all(v >= 1.0 - 1e-9 for v in result.y(name))
+
+
+class TestRocketfuelTable:
+    def test_totals_and_ordering(self):
+        result = figures.rocketfuel_table(horizon=150, runs=2, seed=12)
+        offstat = result.y("OFFSTAT")[0]
+        onth = result.y("ONTH")[0]
+        onbr = result.y("ONBR")[0]
+        assert offstat > 0
+        # the paper's qualitative ordering
+        assert offstat <= onth <= onbr * 1.2
+
+    def test_formats_cleanly(self):
+        result = figures.rocketfuel_table(horizon=60, runs=1, seed=13)
+        text = format_figure(result)
+        assert "OFFSTAT" in text and "ONTH" in text and "ONBR" in text

@@ -1,0 +1,102 @@
+"""Tests for the server load functions (repro.core.load)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.load import CallableLoad, LinearLoad, LoadFunction, PowerLoad, QuadraticLoad
+
+
+class TestLinearLoad:
+    def test_values(self):
+        load = LinearLoad()
+        out = load(np.array([1.0, 2.0]), np.array([4, 4]))
+        np.testing.assert_allclose(out, [4.0, 2.0])
+
+    def test_zero_requests_zero_load(self):
+        out = LinearLoad()(np.array([1.0]), np.array([0]))
+        np.testing.assert_allclose(out, [0.0])
+
+    def test_is_assignment_invariant(self):
+        assert LinearLoad().assignment_invariant_for_uniform_strength
+
+    def test_invariance_holds_numerically(self):
+        """Total linear load is split-independent under uniform strength."""
+        load = LinearLoad()
+        strengths = np.ones(3)
+        a = load(strengths, np.array([6, 0, 0])).sum()
+        b = load(strengths, np.array([2, 2, 2])).sum()
+        assert a == pytest.approx(b)
+
+    def test_broadcasts_over_rounds(self):
+        out = LinearLoad()(np.ones(2), np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(LinearLoad(), LoadFunction)
+
+
+class TestQuadraticLoad:
+    def test_values(self):
+        out = QuadraticLoad()(np.array([2.0]), np.array([6]))
+        np.testing.assert_allclose(out, [9.0])
+
+    def test_not_assignment_invariant(self):
+        assert not QuadraticLoad().assignment_invariant_for_uniform_strength
+
+    def test_balancing_reduces_total(self):
+        """Convexity: even split is cheaper than piling on one server."""
+        load = QuadraticLoad()
+        strengths = np.ones(2)
+        piled = load(strengths, np.array([8, 0])).sum()
+        split = load(strengths, np.array([4, 4])).sum()
+        assert split < piled
+
+    def test_satisfies_protocol(self):
+        assert isinstance(QuadraticLoad(), LoadFunction)
+
+
+class TestPowerLoad:
+    def test_exponent_one_matches_linear(self):
+        s, c = np.array([1.0, 3.0]), np.array([5, 6])
+        np.testing.assert_allclose(PowerLoad(1.0)(s, c), LinearLoad()(s, c))
+
+    def test_exponent_two_matches_quadratic(self):
+        s, c = np.array([1.0, 3.0]), np.array([5, 6])
+        np.testing.assert_allclose(PowerLoad(2.0)(s, c), QuadraticLoad()(s, c))
+
+    def test_invariance_flag_tracks_exponent(self):
+        assert PowerLoad(1.0).assignment_invariant_for_uniform_strength
+        assert not PowerLoad(1.5).assignment_invariant_for_uniform_strength
+
+    def test_rejects_concave_exponent(self):
+        with pytest.raises(ValueError, match="exponent"):
+            PowerLoad(0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        exponent=st.floats(1.0, 3.0),
+        count=st.integers(0, 100),
+        strength=st.floats(0.5, 4.0),
+    )
+    def test_monotone_in_count(self, exponent, count, strength):
+        load = PowerLoad(exponent)
+        s = np.array([strength])
+        assert load(s, np.array([count + 1]))[0] >= load(s, np.array([count]))[0]
+
+
+class TestCallableLoad:
+    def test_wraps_custom_function(self):
+        load = CallableLoad(lambda w, n: np.sqrt(n / w) * (n / w))
+        out = load(np.array([1.0]), np.array([4]))
+        np.testing.assert_allclose(out, [8.0])
+
+    def test_checks_shape(self):
+        bad = CallableLoad(lambda w, n: np.zeros(7))
+        with pytest.raises(ValueError, match="shape"):
+            bad(np.ones(2), np.ones(2))
+
+    def test_defaults_to_non_invariant(self):
+        load = CallableLoad(lambda w, n: n / w)
+        assert not load.assignment_invariant_for_uniform_strength

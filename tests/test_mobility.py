@@ -1,0 +1,90 @@
+"""Tests for the on/off mobility model (repro.workload.mobility)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import erdos_renyi, line
+from repro.workload.base import generate_trace
+from repro.workload.mobility import MobilityScenario
+
+
+class TestParameters:
+    def test_defaults(self, line5):
+        scenario = MobilityScenario(line5)
+        assert scenario.n_users == 20
+        assert scenario.mean_sojourn == 10.0
+
+    def test_rejects_sub_round_sojourn(self, line5):
+        with pytest.raises(ValueError, match="mean_sojourn"):
+            MobilityScenario(line5, mean_sojourn=0.5)
+
+    def test_rejects_bad_correlation(self, line5):
+        with pytest.raises(ValueError, match="correlation"):
+            MobilityScenario(line5, correlation=2.0)
+
+
+class TestGeneratedTraces:
+    def test_population_constant(self, line5):
+        scenario = MobilityScenario(line5, n_users=7)
+        trace = generate_trace(scenario, 25, seed=0)
+        assert all(r.size == 7 for r in trace)
+
+    def test_users_stay_mostly_put_with_long_sojourn(self):
+        sub = erdos_renyi(40, p=0.1, seed=2)
+        scenario = MobilityScenario(
+            sub, n_users=10, mean_sojourn=1000.0, correlation=0.0
+        )
+        trace = generate_trace(scenario, 20, seed=1)
+        # with move probability 1/1000, most rounds are identical
+        unchanged = sum(
+            np.array_equal(a, b) for a, b in zip(trace, list(trace)[1:])
+        )
+        assert unchanged >= 15
+
+    def test_users_move_every_round_with_sojourn_one(self):
+        sub = erdos_renyi(40, p=0.1, seed=2)
+        scenario = MobilityScenario(
+            sub, n_users=30, mean_sojourn=1.0, correlation=0.0
+        )
+        trace = generate_trace(scenario, 5, seed=3)
+        changed = sum(
+            not np.array_equal(a, b) for a, b in zip(trace, list(trace)[1:])
+        )
+        assert changed == 4
+
+    def test_full_correlation_herds_users(self):
+        sub = erdos_renyi(40, p=0.1, seed=2)
+        scenario = MobilityScenario(
+            sub, n_users=20, mean_sojourn=2.0, correlation=1.0,
+            attractor_period=10_000,
+        )
+        trace = generate_trace(scenario, 60, seed=4)
+        # eventually everyone converges on the single attractor
+        final = trace[-1]
+        assert np.unique(final).size <= 3
+
+    def test_users_confined_to_access_points(self):
+        from repro.topology.substrate import Link, Substrate
+
+        sub = Substrate(
+            4,
+            [Link(0, 1, 1, 1), Link(1, 2, 1, 1), Link(2, 3, 1, 1)],
+            access_points=[0, 3],
+        )
+        scenario = MobilityScenario(sub, n_users=6, mean_sojourn=1.0)
+        trace = generate_trace(scenario, 15, seed=5)
+        for requests in trace:
+            assert set(requests.tolist()) <= {0, 3}
+
+    def test_deterministic(self, line5):
+        scenario = MobilityScenario(line5, n_users=4)
+        a = generate_trace(scenario, 10, seed=9)
+        b = generate_trace(scenario, 10, seed=9)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_metadata(self, line5):
+        scenario = MobilityScenario(line5, n_users=3, correlation=0.25)
+        trace = generate_trace(scenario, 2, seed=0)
+        assert trace.metadata["scenario"] == "mobility"
+        assert trace.metadata["correlation"] == 0.25

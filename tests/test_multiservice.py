@@ -1,0 +1,150 @@
+"""Tests for the shared-substrate multi-service extension (repro.core.multiservice)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import OnTH, StaticPolicy
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.load import QuadraticLoad
+from repro.core.multiservice import ServiceSpec, simulate_services
+from repro.core.simulator import simulate
+from repro.topology.generators import line
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+from repro.workload.timezones import TimeZoneScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+def static(node):
+    cfg = Configuration.single(node)
+    return StaticPolicy(cfg, start=cfg)
+
+
+class TestValidation:
+    def test_needs_services(self, line5):
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_services(line5, [])
+
+    def test_unique_names(self, line5):
+        spec = ServiceSpec("a", static(0), trace_of([0]))
+        with pytest.raises(ValueError, match="duplicate"):
+            simulate_services(line5, [spec, ServiceSpec("a", static(1), trace_of([1]))])
+
+    def test_equal_horizons(self, line5):
+        a = ServiceSpec("a", static(0), trace_of([0]))
+        b = ServiceSpec("b", static(1), trace_of([1], [1]))
+        with pytest.raises(ValueError, match="equal length"):
+            simulate_services(line5, [a, b])
+
+    def test_trace_in_substrate(self, line5):
+        spec = ServiceSpec("a", static(0), trace_of([9]))
+        with pytest.raises(ValueError, match="outside"):
+            simulate_services(line5, [spec])
+
+
+class TestSingleServiceEquivalence:
+    def test_matches_plain_simulator_for_linear_load(self, line5, costs):
+        """With one service the multi-service loop is the ordinary game."""
+        scenario = CommuterScenario(line5, period=4, sojourn=3)
+        trace = generate_trace(scenario, 30, seed=1)
+        solo = simulate(line5, OnTH(), trace, costs, seed=2)
+        multi = simulate_services(
+            line5, [ServiceSpec("svc", OnTH(), trace)], costs, seed=2
+        )["svc"]
+        assert multi.total_cost == pytest.approx(solo.total_cost)
+        np.testing.assert_array_equal(multi.n_active, solo.n_active)
+
+
+class TestLoadCoupling:
+    def test_colocated_services_share_linear_load_fairly(self, line5):
+        """Linear load: proportional attribution equals stand-alone cost."""
+        costs = CostModel.paper_default()
+        a = ServiceSpec("a", static(2), trace_of([2, 2]))
+        b = ServiceSpec("b", static(2), trace_of([2]))
+        results = simulate_services(line5, [a, b], costs)
+        # node 2 serves 3 requests, load 3; a gets 2/3, b gets 1/3
+        assert results["a"].load_cost[0] == pytest.approx(2.0)
+        assert results["b"].load_cost[0] == pytest.approx(1.0)
+
+    def test_convex_load_makes_colocation_expensive(self, line5):
+        """Quadratic node load: sharing a node hurts both services."""
+        costs = CostModel.paper_default(load=QuadraticLoad())
+        together = simulate_services(
+            line5,
+            [
+                ServiceSpec("a", static(2), trace_of([2, 2])),
+                ServiceSpec("b", static(2), trace_of([2, 2])),
+            ],
+            costs,
+        )
+        apart = simulate_services(
+            line5,
+            [
+                ServiceSpec("a", static(1), trace_of([1, 1])),
+                ServiceSpec("b", static(3), trace_of([3, 3])),
+            ],
+            costs,
+        )
+        shared_load = together["a"].load_cost[0] + together["b"].load_cost[0]
+        separate_load = apart["a"].load_cost[0] + apart["b"].load_cost[0]
+        # 16 total vs 4+4: contention is visible
+        assert shared_load == pytest.approx(16.0)
+        assert separate_load == pytest.approx(8.0)
+
+    def test_total_load_conserved(self, line5, costs):
+        """Per-service attributed loads sum to the substrate's node load."""
+        a = ServiceSpec("a", static(1), trace_of([1, 1, 1]))
+        b = ServiceSpec("b", static(1), trace_of([1]))
+        results = simulate_services(line5, [a, b], costs)
+        total = results["a"].load_cost[0] + results["b"].load_cost[0]
+        assert total == pytest.approx(4.0)  # linear load of 4 requests
+
+
+class TestIndependentFleets:
+    def test_policies_adapt_independently(self, costs):
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=20, creation=200, run_active=1, run_inactive=0.5)
+        hot_right = trace_of(*[[8, 8]] * 50)
+        hot_left = trace_of(*[[0, 0]] * 50)
+        results = simulate_services(
+            sub,
+            [
+                ServiceSpec("right", OnTH(), hot_right),
+                ServiceSpec("left", OnTH(), hot_left),
+            ],
+            cm,
+            seed=0,
+        )
+        # each fleet chased its own demand
+        assert results["right"].latency_cost[-1] == 0.0
+        assert results["left"].latency_cost[-1] == 0.0
+        assert results["right"].total_migrations >= 1
+        assert results["left"].total_migrations >= 1
+
+    def test_per_service_cost_models(self, line5):
+        expensive = CostModel.migration_expensive()
+        cheap = CostModel.paper_default()
+        results = simulate_services(
+            line5,
+            [
+                ServiceSpec("cheap", static(2), trace_of([0], [0]), costs=cheap),
+                ServiceSpec("dear", static(2), trace_of([0], [0]), costs=expensive),
+            ],
+        )
+        assert results["cheap"].running_cost[0] == pytest.approx(2.5)
+        assert results["dear"].running_cost[0] == pytest.approx(2.5)
+
+    def test_deterministic(self, line5, costs):
+        scenario = TimeZoneScenario(line5, period=3, sojourn=3, requests_per_round=3)
+        trace = generate_trace(scenario, 20, seed=4)
+        runs = []
+        for _ in range(2):
+            results = simulate_services(
+                line5, [ServiceSpec("svc", OnTH(), trace)], costs, seed=9
+            )
+            runs.append(results["svc"].total_cost)
+        assert runs[0] == runs[1]

@@ -1,0 +1,120 @@
+"""Tests for the look-ahead variants OFFBR and OFFTH (repro.algorithms.offline_br)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.offline_br import OffBR, OffTH
+from repro.algorithms.onbr import OnBR
+from repro.algorithms.onth import OnTH
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import line
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+@pytest.fixture
+def dear_moves():
+    return CostModel(migration=20, creation=200, run_active=1, run_inactive=0.5)
+
+
+@pytest.fixture
+def shifting_trace():
+    """Demand flips between the two ends of a 9-node path every 25 rounds."""
+    rounds = []
+    for block in range(4):
+        node = 0 if block % 2 == 0 else 8
+        rounds.extend([[node, node]] * 25)
+    return trace_of(*rounds)
+
+
+@pytest.fixture
+def path9():
+    return line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+
+
+class TestOffBR:
+    def test_requires_prepare(self, line5, costs, rng):
+        with pytest.raises(RuntimeError, match="prepare"):
+            OffBR().reset(line5, costs, rng)
+
+    def test_runs_through_simulator(self, path9, dear_moves, shifting_trace):
+        result = simulate(path9, OffBR(), shifting_trace, dear_moves)
+        assert result.rounds == len(shifting_trace)
+
+    def test_reacts_promptly_to_every_shift(self, path9, dear_moves, shifting_trace):
+        """The upcoming-epoch view reconfigures within a few rounds of a shift."""
+        result = simulate(path9, OffBR(), shifting_trace, dear_moves)
+        changes = np.nonzero(result.migrations + result.creations)[0]
+        for shift in (25, 50, 75):
+            assert ((changes >= shift) & (changes <= shift + 6)).any(), shift
+
+    def test_lookahead_wins_when_migration_is_the_only_tool(self, path9):
+        """With creation priced out, both can only migrate; foresight helps."""
+        cm = CostModel(migration=20, creation=10_000, run_active=1, run_inactive=0.5)
+        rounds = [[0, 0]] * 30 + [[8, 8]] * 10
+        trace = trace_of(*rounds)
+        online = simulate(path9, OnBR(), trace, cm)
+        offline = simulate(path9, OffBR(), trace, cm)
+        assert offline.total_cost <= online.total_cost * 1.05
+
+    def test_moves_with_the_demand(self, path9, dear_moves, shifting_trace):
+        result = simulate(path9, OffBR(), shifting_trace, dear_moves)
+        assert result.total_migrations >= 1
+
+    def test_name(self):
+        assert OffBR().name == "OFFBR"
+        assert OffBR(dynamic_threshold=True).name == "OFFBR-dyn"
+
+    def test_deterministic(self, path9, dear_moves, shifting_trace):
+        a = simulate(path9, OffBR(), shifting_trace, dear_moves)
+        b = simulate(path9, OffBR(), shifting_trace, dear_moves)
+        np.testing.assert_allclose(a.per_round_total, b.per_round_total)
+
+
+class TestOffTH:
+    def test_requires_prepare(self, line5, costs, rng):
+        with pytest.raises(RuntimeError, match="prepare"):
+            OffTH().reset(line5, costs, rng)
+
+    def test_runs_through_simulator(self, path9, dear_moves, shifting_trace):
+        result = simulate(path9, OffTH(), shifting_trace, dear_moves)
+        assert result.rounds == len(shifting_trace)
+
+    def test_lookahead_no_worse_than_online_on_shifts(
+        self, path9, dear_moves, shifting_trace
+    ):
+        online = simulate(path9, OnTH(), shifting_trace, dear_moves)
+        offline = simulate(path9, OffTH(), shifting_trace, dear_moves)
+        assert offline.total_cost <= online.total_cost * 1.05
+
+    def test_name(self):
+        assert OffTH().name == "OFFTH"
+
+    def test_allocates_servers_like_onth(self, path9, dear_moves):
+        trace = trace_of(*[[0] * 8 + [8] * 8 for _ in range(60)])
+        result = simulate(path9, OffTH(), trace, dear_moves)
+        assert result.peak_active_servers >= 2
+
+    def test_keeps_one_active_server(self, line5, costs):
+        scenario = CommuterScenario(line5, period=4, sojourn=2, dynamic_load=True)
+        trace = generate_trace(scenario, 60, seed=1)
+        result = simulate(line5, OffTH(), trace, costs)
+        assert (result.n_active >= 1).all()
+
+
+class TestLookaheadWindow:
+    def test_window_respects_trace_end(self, path9, dear_moves):
+        """Decisions near the end of the trace must not run off the edge."""
+        trace = trace_of(*[[8, 8]] * 15)
+        result = simulate(path9, OffBR(), trace, dear_moves)
+        assert result.rounds == 15
+
+    def test_single_round_trace(self, line5, costs):
+        trace = trace_of([0])
+        result = simulate(line5, OffBR(), trace, costs)
+        assert result.rounds == 1

@@ -1,0 +1,137 @@
+"""Tests for OFFSTAT (repro.algorithms.offstat)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.offstat import OffStat
+from repro.algorithms.static import StaticPolicy
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import erdos_renyi, line
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+class TestGreedyPlacement:
+    def test_single_server_at_demand_weighted_optimum(self):
+        sub = line(5, seed=0, unit_latency=False, latency_range=(10, 10))
+        # demand concentrated at node 4
+        trace = trace_of(*[[4, 4, 4]] * 20)
+        offstat = OffStat(max_servers=1)
+        simulate(sub, offstat, trace, CostModel.paper_default())
+        assert offstat.target == Configuration.single(4)
+
+    def test_two_servers_cover_two_clusters(self):
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        trace = trace_of(*[[0, 0, 8, 8]] * 30)
+        cm = CostModel(migration=10, creation=30, run_active=0.5, run_inactive=0.1)
+        offstat = OffStat()
+        simulate(sub, offstat, trace, cm)
+        assert offstat.kopt == 2
+        assert set(offstat.target.active) == {0, 8}
+
+    def test_placements_are_nested(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=3)
+        trace = generate_trace(scenario, 40, seed=0)
+        offstat = OffStat(max_servers=4)
+        simulate(line5_latency, offstat, trace, costs)
+        placements = offstat.placements
+        for smaller, larger in zip(placements, placements[1:]):
+            assert set(smaller) <= set(larger)
+
+    def test_cost_curve_matches_kopt(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=3)
+        trace = generate_trace(scenario, 40, seed=1)
+        offstat = OffStat(max_servers=4)
+        simulate(line5_latency, offstat, trace, costs)
+        curve = offstat.cost_curve
+        assert offstat.kopt == int(np.argmin(curve)) + 1
+
+    def test_running_cost_limits_fleet_size(self):
+        """Expensive running costs force kopt = 1 despite spread demand."""
+        sub = line(9, seed=0, unit_latency=False, latency_range=(1, 1))
+        trace = trace_of(*[[0, 8]] * 10)
+        cm = CostModel(migration=10, creation=30, run_active=50, run_inactive=1)
+        offstat = OffStat()
+        simulate(sub, offstat, trace, cm)
+        assert offstat.kopt == 1
+
+
+class TestCostAccounting:
+    def test_simulated_cost_close_to_internal_estimate(self, line5_latency, costs):
+        """The curve's chosen value matches the simulated ledger total.
+
+        The internal estimate prices build-out + access + running, which is
+        exactly what the simulator charges a static fleet (the one-round
+        delay of the switch costs the difference between serving round 0
+        from γ0 vs from the fleet — bounded by one round's access).
+        """
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=3)
+        trace = generate_trace(scenario, 50, seed=2)
+        offstat = OffStat()
+        result = simulate(line5_latency, offstat, trace, costs)
+        internal = offstat.cost_curve[offstat.kopt - 1]
+        assert result.total_cost == pytest.approx(internal, rel=0.05)
+
+    def test_charge_build_false_is_cheaper(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=3)
+        trace = generate_trace(scenario, 50, seed=3)
+        charged = simulate(line5_latency, OffStat(), trace, costs)
+        free = simulate(line5_latency, OffStat(charge_build=False), trace, costs)
+        assert free.total_cost <= charged.total_cost + 1e-9
+
+    def test_static_fleet_never_moves(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=3)
+        trace = generate_trace(scenario, 50, seed=4)
+        result = simulate(line5_latency, OffStat(), trace, costs)
+        # all transitions happen in round 0 (the build-out)
+        assert result.migrations[1:].sum() == 0
+        assert result.creations[1:].sum() == 0
+
+    def test_beats_arbitrary_static_choice(self, costs):
+        """OFFSTAT's fleet is at least as good as a random static fleet."""
+        sub = erdos_renyi(30, p=0.15, seed=1)
+        scenario = CommuterScenario(sub, period=6, sojourn=4)
+        trace = generate_trace(scenario, 60, seed=5)
+        offstat = OffStat()
+        best = simulate(sub, offstat, trace, costs)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            nodes = rng.choice(30, size=offstat.kopt, replace=False)
+            fixed = simulate(
+                sub, StaticPolicy(Configuration(tuple(int(v) for v in nodes))),
+                trace, costs,
+            )
+            assert best.total_cost <= fixed.total_cost + 1e-6
+
+
+class TestGuards:
+    def test_requires_prepare(self, line5, costs, rng):
+        with pytest.raises(RuntimeError, match="prepare"):
+            OffStat().reset(line5, costs, rng)
+
+    def test_unsolved_access_raises(self):
+        offstat = OffStat()
+        with pytest.raises(RuntimeError, match="not been solved"):
+            offstat.kopt
+
+    def test_max_servers_limits_curve(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=3)
+        trace = generate_trace(scenario, 30, seed=6)
+        offstat = OffStat(max_servers=2)
+        simulate(line5_latency, offstat, trace, costs)
+        assert len(offstat.cost_curve) == 2
+        assert offstat.kopt <= 2
+
+    def test_early_stopping_on_rising_curve(self, costs):
+        """Unbounded search stops once the curve keeps rising."""
+        sub = erdos_renyi(40, p=0.15, seed=2)
+        trace = trace_of(*[[0]] * 20)  # one trivial demand point
+        offstat = OffStat()
+        simulate(sub, offstat, trace, costs)
+        assert len(offstat.cost_curve) < 40

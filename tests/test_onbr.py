@@ -1,0 +1,122 @@
+"""Tests for ONBR (repro.algorithms.onbr)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.onbr import OnBR
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import line, star
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+def constant_trace(node, rounds, copies=1):
+    return trace_of(*[[node] * copies for _ in range(rounds)])
+
+
+class TestInitialisation:
+    def test_starts_at_center(self, line5, costs, rng):
+        policy = OnBR()
+        cfg = policy.reset(line5, costs, rng)
+        assert cfg == Configuration.single(line5.center)
+
+    def test_custom_start_node(self, line5, costs, rng):
+        policy = OnBR(start_node=4)
+        assert policy.reset(line5, costs, rng) == Configuration.single(4)
+
+    def test_start_node_validated(self, line5, costs, rng):
+        with pytest.raises(ValueError, match="start node"):
+            OnBR(start_node=99).reset(line5, costs, rng)
+
+    def test_name_reflects_variant(self):
+        assert OnBR().name == "ONBR"
+        assert OnBR(dynamic_threshold=True).name == "ONBR-dyn"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="threshold_factor"):
+            OnBR(threshold_factor=0)
+        with pytest.raises(ValueError, match="cache_size"):
+            OnBR(cache_size=0)
+
+    def test_reset_clears_state_for_reuse(self, line5, costs):
+        policy = OnBR()
+        trace = constant_trace(0, 30, copies=5)
+        first = simulate(line5, policy, trace, costs)
+        second = simulate(line5, policy, trace, costs)
+        np.testing.assert_allclose(first.per_round_total, second.per_round_total)
+
+
+class TestEpochMechanics:
+    def test_no_change_below_threshold(self, line5, costs):
+        """Tiny demand never reaches θ = 2c = 800 in a short run."""
+        result = simulate(line5, OnBR(), constant_trace(2, 10), costs)
+        assert result.total_migrations == 0
+        assert result.total_creations == 0
+        assert (result.n_active == 1).all()
+
+    def test_migrates_toward_persistent_remote_demand(self):
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=20, creation=200, run_active=1, run_inactive=0.5)
+        # all demand at node 8, server starts at center 4: distance 4 hops
+        # of latency 10 = 40/round; epoch threshold 2c=400 -> ~9 rounds
+        result = simulate(sub, OnBR(), constant_trace(8, 60), cm)
+        assert result.total_migrations >= 1
+        # once moved, the access cost drops to zero
+        assert result.latency_cost[-1] == 0.0
+
+    def test_stable_configuration_under_constant_demand(self, costs):
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        result = simulate(sub, OnBR(), constant_trace(8, 120, copies=3), costs)
+        # after convergence there are no further migrations/creations
+        late_moves = result.migrations[60:].sum() + result.creations[60:].sum()
+        assert late_moves == 0
+
+    def test_dynamic_threshold_reacts_faster(self):
+        """Short epochs shrink θ, so ONBR-dyn reconfigures at least as often."""
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=20, creation=200, run_active=1, run_inactive=0.5)
+        scenario = CommuterScenario(sub, period=4, sojourn=3, dynamic_load=False)
+        trace = generate_trace(scenario, 100, seed=1)
+        fixed = simulate(sub, OnBR(), trace, cm)
+        dyn = simulate(sub, OnBR(dynamic_threshold=True), trace, cm)
+        fixed_changes = fixed.total_migrations + fixed.total_creations
+        dyn_changes = dyn.total_migrations + dyn.total_creations
+        assert dyn_changes >= fixed_changes
+
+    def test_keeps_at_least_one_active_server(self, line5, costs):
+        scenario = CommuterScenario(line5, period=4, sojourn=2, dynamic_load=True)
+        trace = generate_trace(scenario, 80, seed=0)
+        result = simulate(line5, OnBR(), trace, costs)
+        assert (result.n_active >= 1).all()
+
+    def test_inactive_queue_bounded(self, costs):
+        sub = star(8, seed=0)
+        scenario = CommuterScenario(sub, period=4, sojourn=2, dynamic_load=True)
+        trace = generate_trace(scenario, 100, seed=1)
+        result = simulate(sub, OnBR(cache_size=2), trace, costs)
+        assert result.n_inactive.max() <= 2
+
+
+class TestCreationPath:
+    def test_creates_second_server_for_split_demand(self):
+        """Persistent demand at both ends of a long path justifies 2 servers."""
+        sub = line(11, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=10, creation=50, run_active=0.5, run_inactive=0.1)
+        trace = trace_of(*[[0, 0, 10, 10] for _ in range(80)])
+        result = simulate(sub, OnBR(), trace, cm)
+        assert result.peak_active_servers >= 2
+        # both clusters eventually served locally
+        assert result.latency_cost[-1] == 0.0
+
+    def test_charges_creation_without_donor(self):
+        sub = line(11, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=10, creation=50, run_active=0.5, run_inactive=0.1)
+        trace = trace_of(*[[0, 0, 10, 10] for _ in range(80)])
+        result = simulate(sub, OnBR(), trace, cm)
+        assert result.creation_cost.sum() > 0

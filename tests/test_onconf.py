@@ -1,0 +1,116 @@
+"""Tests for ONCONF (repro.algorithms.onconf)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.onconf import OnConf
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import line
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+class TestConfigurationSpace:
+    def test_space_size(self, line5, costs, rng):
+        policy = OnConf(max_servers=2)
+        policy.reset(line5, costs, rng)
+        # C(5,1) + C(5,2) = 5 + 10
+        assert policy.n_configurations == 15
+
+    def test_space_size_k3(self, line5, costs, rng):
+        policy = OnConf(max_servers=3)
+        policy.reset(line5, costs, rng)
+        assert policy.n_configurations == 25
+
+    def test_k_clamped_to_n(self, costs, rng):
+        sub = line(3, seed=0)
+        policy = OnConf(max_servers=10)
+        policy.reset(sub, costs, rng)
+        assert policy.n_configurations == 7  # all non-empty subsets
+
+    def test_budget_guard(self, costs, rng):
+        from repro.topology.generators import erdos_renyi
+
+        sub = erdos_renyi(300, seed=0)
+        with pytest.raises(ValueError, match="budget"):
+            OnConf(max_servers=3).reset(sub, costs, rng)
+
+    def test_starts_at_center(self, line5, costs, rng):
+        policy = OnConf(max_servers=2)
+        cfg = policy.reset(line5, costs, rng)
+        assert cfg == Configuration.single(line5.center)
+
+
+class TestCounterDynamics:
+    def test_no_switch_while_below_threshold(self, line5, costs):
+        """k·c = 800 with tiny demand: no reconfiguration in a short run."""
+        trace = trace_of(*[[2]] * 10)
+        result = simulate(line5, OnConf(max_servers=2), trace, costs, seed=0)
+        assert result.total_migrations == 0
+        assert result.total_creations == 0
+
+    def test_switches_when_counter_fills(self):
+        sub = line(5, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=5, creation=20, run_active=0.5, run_inactive=0.1)
+        # demand far from center: counter of start config grows fast (k·c=40)
+        trace = trace_of(*[[0, 0, 0]] * 40)
+        result = simulate(sub, OnConf(max_servers=2), trace, cm, seed=1)
+        assert result.total_migrations + result.total_creations >= 1
+
+    def test_deterministic_variant_reproducible(self):
+        sub = line(5, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=5, creation=20, run_active=0.5, run_inactive=0.1)
+        trace = trace_of(*[[0, 4]] * 50)
+        a = simulate(sub, OnConf(max_servers=2, deterministic=True), trace, cm, seed=1)
+        b = simulate(sub, OnConf(max_servers=2, deterministic=True), trace, cm, seed=99)
+        np.testing.assert_allclose(a.per_round_total, b.per_round_total)
+
+    def test_random_variant_seed_dependent_but_deterministic(self):
+        sub = line(5, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=5, creation=20, run_active=0.5, run_inactive=0.1)
+        trace = trace_of(*[[0, 4]] * 60)
+        a = simulate(sub, OnConf(max_servers=2), trace, cm, seed=7)
+        b = simulate(sub, OnConf(max_servers=2), trace, cm, seed=7)
+        np.testing.assert_allclose(a.per_round_total, b.per_round_total)
+
+    def test_epoch_reset_when_all_counters_full(self):
+        """With a minuscule threshold every configuration fills instantly."""
+        sub = line(3, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=0.5, creation=0.5, run_active=0.5, run_inactive=0.1)
+        trace = trace_of(*[[0, 2]] * 30)
+        result = simulate(sub, OnConf(max_servers=1), trace, cm, seed=3)
+        # the run completes; epochs reset instead of thrashing forever
+        assert result.rounds == 30
+
+    def test_always_one_active_config(self, line5, costs):
+        scenario = CommuterScenario(line5, period=4, sojourn=2, dynamic_load=True)
+        trace = generate_trace(scenario, 60, seed=1)
+        result = simulate(line5, OnConf(max_servers=2), trace, costs, seed=0)
+        assert (result.n_active >= 1).all()
+        assert (result.n_inactive == 0).all()  # ONCONF holds no cache
+
+
+class TestAgainstBetterInformedBaselines:
+    def test_oncf_at_least_matches_static_far_server(self):
+        """ONCONF should eventually escape a terrible start position."""
+        from repro.algorithms.static import StaticPolicy
+
+        sub = line(5, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=5, creation=20, run_active=0.5, run_inactive=0.1)
+        trace = trace_of(*[[4, 4]] * 80)
+        onconf = simulate(
+            sub, OnConf(max_servers=2, start_node=0, deterministic=True),
+            trace, cm, seed=0,
+        )
+        static_far = simulate(
+            sub, StaticPolicy(Configuration.single(0),
+                              start=Configuration.single(0)),
+            trace, cm,
+        )
+        assert onconf.total_cost < static_far.total_cost

@@ -1,0 +1,132 @@
+"""Tests for ONTH (repro.algorithms.onth)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.onth import OnTH
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.load import QuadraticLoad
+from repro.core.simulator import simulate
+from repro.topology.generators import erdos_renyi, line
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+def constant_trace(node, rounds, copies=1):
+    return trace_of(*[[node] * copies for _ in range(rounds)])
+
+
+class TestInitialisation:
+    def test_starts_at_center(self, line5, costs, rng):
+        assert OnTH().reset(line5, costs, rng) == Configuration.single(line5.center)
+
+    def test_custom_start(self, line5, costs, rng):
+        assert OnTH(start_node=0).reset(line5, costs, rng) == Configuration.single(0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="small_epoch_factor"):
+            OnTH(small_epoch_factor=0)
+        with pytest.raises(ValueError, match="max_servers"):
+            OnTH(max_servers=0)
+
+    def test_reusable_across_runs(self, line5, costs):
+        policy = OnTH()
+        trace = constant_trace(0, 40, copies=4)
+        a = simulate(line5, policy, trace, costs)
+        b = simulate(line5, policy, trace, costs)
+        np.testing.assert_allclose(a.per_round_total, b.per_round_total)
+
+
+class TestSmallEpochs:
+    def test_migrates_to_persistent_demand(self):
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=20, creation=200, run_active=1, run_inactive=0.5)
+        result = simulate(sub, OnTH(), constant_trace(8, 60), cm)
+        assert result.total_migrations >= 1
+        assert result.latency_cost[-1] == 0.0
+
+    def test_small_epoch_threshold_scales_with_beta(self):
+        """Larger y·β accumulates longer before reacting."""
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=20, creation=200, run_active=1, run_inactive=0.5)
+        fast = simulate(sub, OnTH(small_epoch_factor=1.0), constant_trace(8, 40), cm)
+        slow = simulate(sub, OnTH(small_epoch_factor=16.0), constant_trace(8, 40), cm)
+        first_move_fast = int(np.argmax(fast.migrations > 0))
+        first_move_slow = int(np.argmax(slow.migrations > 0))
+        if slow.total_migrations:
+            assert first_move_fast <= first_move_slow
+        else:
+            assert fast.total_migrations >= 1
+
+    def test_never_drops_below_one_server(self, line5, costs):
+        scenario = CommuterScenario(line5, period=4, sojourn=2, dynamic_load=True)
+        trace = generate_trace(scenario, 100, seed=0)
+        result = simulate(line5, OnTH(), trace, costs)
+        assert (result.n_active >= 1).all()
+
+
+class TestLargeEpochs:
+    def make_heavy_instance(self):
+        """Demand heavy enough that one server's access cost explodes."""
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=20, creation=100, run_active=1, run_inactive=0.5)
+        trace = trace_of(*[[0] * 10 + [8] * 10 for _ in range(60)])
+        return sub, cm, trace
+
+    def test_allocates_additional_servers(self):
+        sub, cm, trace = self.make_heavy_instance()
+        result = simulate(sub, OnTH(), trace, cm)
+        assert result.peak_active_servers >= 2
+
+    def test_max_servers_cap_respected(self):
+        sub, cm, trace = self.make_heavy_instance()
+        result = simulate(sub, OnTH(max_servers=1), trace, cm)
+        assert result.peak_active_servers == 1
+
+    def test_quadratic_load_allocates_more_servers(self):
+        """The paper's Figure 1/2 observation."""
+        sub = erdos_renyi(100, seed=3)
+        scenario = CommuterScenario(sub, period=8, sojourn=10, dynamic_load=False)
+        trace = generate_trace(scenario, 300, seed=4)
+        linear = simulate(sub, OnTH(), trace, CostModel.paper_default())
+        quad = simulate(
+            sub, OnTH(), trace, CostModel.paper_default(load=QuadraticLoad())
+        )
+        assert quad.peak_active_servers > linear.peak_active_servers
+
+    def test_server_count_tracks_demand_growth(self):
+        """More servers at midday than at the day edges (Figure 1 shape)."""
+        sub = erdos_renyi(200, seed=5)
+        scenario = CommuterScenario(sub, period=10, sojourn=10, dynamic_load=True)
+        trace = generate_trace(scenario, 300, seed=6)
+        result = simulate(sub, OnTH(), trace, CostModel.paper_default())
+        assert result.peak_active_servers >= 2
+
+    def test_convergence_under_constant_demand(self):
+        sub = line(9, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=20, creation=100, run_active=1, run_inactive=0.5)
+        result = simulate(sub, OnTH(), constant_trace(8, 150, copies=2), cm)
+        late = result.migrations[100:].sum() + result.creations[100:].sum()
+        assert late == 0
+
+
+class TestQueueBehaviour:
+    def test_inactive_queue_bounded(self, costs):
+        sub = erdos_renyi(60, seed=2)
+        scenario = CommuterScenario(sub, period=8, sojourn=3, dynamic_load=True)
+        trace = generate_trace(scenario, 200, seed=2)
+        result = simulate(sub, OnTH(cache_size=3), trace, costs)
+        assert result.n_inactive.max() <= 3
+
+    def test_expired_servers_leave_use(self, costs):
+        sub = erdos_renyi(60, seed=2)
+        scenario = CommuterScenario(sub, period=8, sojourn=3, dynamic_load=True)
+        trace = generate_trace(scenario, 250, seed=3)
+        result = simulate(sub, OnTH(cache_expiry=1), trace, costs)
+        # with immediate expiry the cache empties right after each epoch
+        assert result.n_inactive.max() <= 1

@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart renderer (repro.experiments.plotting)."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, render_figure_chart
+from repro.experiments.runner import FigureResult
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart({"a": [1, 2, 3, 4]}, width=20, height=6)
+        lines = out.splitlines()
+        assert any("o" in line for line in lines)
+        assert "a" in lines[-1]  # legend
+
+    def test_min_max_labels(self):
+        out = ascii_chart({"a": [10.0, 50.0]}, width=20, height=6)
+        assert "50" in out and "10" in out
+
+    def test_multiple_series_markers(self):
+        out = ascii_chart({"up": [1, 2, 3], "down": [3, 2, 1]}, width=24, height=8)
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_constant_series(self):
+        out = ascii_chart({"flat": [5, 5, 5]}, width=16, height=5)
+        assert "flat" in out  # no division-by-zero on a flat series
+
+    def test_single_point(self):
+        out = ascii_chart({"p": [2.0]}, width=16, height=5)
+        assert "o" in out
+
+    def test_nan_points_skipped(self):
+        out = ascii_chart({"a": [1.0, float("nan"), 3.0]}, width=16, height=5)
+        assert "o" in out
+
+    def test_y_label(self):
+        out = ascii_chart({"a": [1, 2]}, width=16, height=5, y_label="cost")
+        assert "cost" in out.splitlines()[0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            ascii_chart({})
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError, match="empty"):
+            ascii_chart({"a": []})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            ascii_chart({"a": [1, 2], "b": [1]})
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            ascii_chart({"a": [float("nan")]})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError, match="width"):
+            ascii_chart({"a": [1, 2]}, width=2, height=2)
+
+    def test_overlap_marked(self):
+        """Two series crossing at a point render a collision marker."""
+        out = ascii_chart({"a": [1, 5, 1], "b": [1, 5, 1]}, width=12, height=6)
+        assert "?" in out
+
+
+class TestRenderFigureChart:
+    def make(self):
+        return FigureResult(
+            "figX", "demo", "λ", (1, 2, 4),
+            {"ONTH": (10.0, 12.0, 9.0), "ONBR": (15.0, 18.0, 14.0)},
+        )
+
+    def test_contains_title_and_footer(self):
+        out = render_figure_chart(self.make())
+        assert "[figX] demo" in out
+        assert "λ: 1 .. 4 (3 points)" in out
+
+    def test_all_series_in_legend(self):
+        out = render_figure_chart(self.make())
+        assert "ONTH" in out and "ONBR" in out

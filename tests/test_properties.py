@@ -1,0 +1,159 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin the library's global invariants on randomly generated instances:
+OPT optimality, ledger accounting identities, trace/scenario conservation
+laws, and the consistency between candidate prediction and pricing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms._families import apply_choice, enumerate_choices
+from repro.algorithms.onbr import OnBR
+from repro.algorithms.onth import OnTH
+from repro.algorithms.opt import Opt
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.evaluation import RequestBatch
+from repro.core.servercache import InactiveServerCache
+from repro.core.simulator import simulate
+from repro.core.transitions import price_transition
+from repro.topology.generators import line
+from repro.workload.base import Trace
+
+SUB = line(5, seed=0, unit_latency=False, latency_range=(5, 20))
+SLOW = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_trace(rng, n_nodes=5, rounds=8, max_requests=4):
+    return Trace(
+        tuple(
+            rng.integers(0, n_nodes, size=rng.integers(0, max_requests + 1))
+            for _ in range(rounds)
+        )
+    )
+
+
+@st.composite
+def cost_models(draw):
+    beta = draw(st.sampled_from([1.0, 10.0, 40.0, 400.0]))
+    creation = draw(st.sampled_from([5.0, 40.0, 400.0]))
+    run_active = draw(st.sampled_from([0.5, 2.5, 10.0]))
+    return CostModel(
+        migration=beta,
+        creation=creation,
+        run_active=run_active,
+        run_inactive=min(0.5, run_active),
+    )
+
+
+@settings(max_examples=20, **SLOW)
+@given(seed=st.integers(0, 10_000), costs=cost_models())
+def test_opt_lower_bounds_online_policies(seed, costs):
+    rng = np.random.default_rng(seed)
+    trace = random_trace(rng)
+    opt_cost, _ = Opt.solve(SUB, trace, costs)
+    for factory in (OnTH, OnBR):
+        online = simulate(SUB, factory(), trace, costs, seed=1)
+        assert opt_cost <= online.total_cost + 1e-6
+
+
+@settings(max_examples=20, **SLOW)
+@given(seed=st.integers(0, 10_000), costs=cost_models())
+def test_ledger_accounting_identity(seed, costs):
+    rng = np.random.default_rng(seed)
+    trace = random_trace(rng, rounds=12)
+    result = simulate(SUB, OnTH(), trace, costs, seed=2)
+    assert result.total_cost == pytest.approx(
+        float(
+            result.latency_cost.sum()
+            + result.load_cost.sum()
+            + result.running_cost.sum()
+            + result.migration_cost.sum()
+            + result.creation_cost.sum()
+        )
+    )
+    # per-round access non-negative; server census sane
+    assert (result.access_cost >= 0).all()
+    assert (result.n_active >= 1).all()
+
+
+@settings(max_examples=20, **SLOW)
+@given(seed=st.integers(0, 10_000))
+def test_opt_cost_monotone_in_horizon(seed):
+    """Serving a prefix can never cost more than serving the whole trace."""
+    rng = np.random.default_rng(seed)
+    trace = random_trace(rng, rounds=8, max_requests=3)
+    costs = CostModel.paper_default()
+    full, _ = Opt.solve(SUB, trace, costs)
+    prefix, _ = Opt.solve(SUB, trace.window(0, 4), costs)
+    assert prefix <= full + 1e-9
+
+
+@settings(max_examples=30, **SLOW)
+@given(
+    seed=st.integers(0, 10_000),
+    active=st.sets(st.integers(0, 4), min_size=1, max_size=3),
+    cached=st.sets(st.integers(0, 4), max_size=2),
+    costs=cost_models(),
+)
+def test_choice_predictions_match_pricer(seed, active, cached, costs):
+    """Family predictions equal pricer charges for arbitrary states."""
+    cached = cached - active
+    rng = np.random.default_rng(seed)
+    rounds = [rng.integers(0, 5, size=3) for _ in range(2)]
+    batch = RequestBatch(SUB, costs, rounds)
+    config = Configuration.of(active, cached)
+
+    def fresh_cache():
+        cache = InactiveServerCache(max_size=3)
+        for node in cached:
+            cache.push(node)
+        return cache
+
+    for choice in enumerate_choices(batch, config, fresh_cache(), costs):
+        cache = fresh_cache()
+        new_config = apply_choice(choice, config, cache)
+        charged = price_transition(config, new_config, costs).cost
+        assert charged == pytest.approx(choice.transition_cost), choice.kind
+
+
+@settings(max_examples=25, **SLOW)
+@given(
+    seed=st.integers(0, 10_000),
+    beta=st.sampled_from([1.0, 40.0, 400.0]),
+)
+def test_simulated_policy_cost_deterministic(seed, beta):
+    rng = np.random.default_rng(seed)
+    trace = random_trace(rng, rounds=10)
+    costs = CostModel(migration=beta, creation=100.0, run_inactive=0.5)
+    a = simulate(SUB, OnTH(), trace, costs, seed=9).total_cost
+    b = simulate(SUB, OnTH(), trace, costs, seed=9).total_cost
+    assert a == b
+
+
+@settings(max_examples=20, **SLOW)
+@given(seed=st.integers(0, 10_000))
+def test_transition_triangle_inequality_via_intermediate(seed):
+    """Direct transition is never dearer than any two-step route."""
+    rng = np.random.default_rng(seed)
+    costs = CostModel.paper_default()
+
+    def random_config():
+        nodes = rng.permutation(5)
+        n_act = int(rng.integers(1, 3))
+        n_inact = int(rng.integers(0, 2))
+        return Configuration(
+            tuple(int(v) for v in nodes[:n_act]),
+            tuple(int(v) for v in nodes[n_act: n_act + n_inact]),
+        )
+
+    a, b, c = random_config(), random_config(), random_config()
+    direct = price_transition(a, c, costs).cost
+    two_step = price_transition(a, b, costs).cost + price_transition(b, c, costs).cost
+    assert direct <= two_step + 1e-9

@@ -1,0 +1,75 @@
+"""Tests for plain-text reporting (repro.experiments.reporting)."""
+
+import pytest
+
+from repro.experiments.reporting import format_figure, format_table
+from repro.experiments.runner import FigureResult
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["x", "y"], [[1, 2.5], [10, 33.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("y")
+        # all rows same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234.5678]])
+        assert "1234.6" in out
+
+    def test_small_float_four_significant(self):
+        out = format_table(["v"], [[0.123456]])
+        assert "0.1235" in out
+
+    def test_nan_rendered(self):
+        out = format_table(["v"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatFigure:
+    def make(self, with_errors=True):
+        errors = {"cost": (0.5, 0.7)} if with_errors else {}
+        return FigureResult(
+            figure="fig99",
+            title="demo figure",
+            x_label="λ",
+            x_values=(1, 2),
+            series={"cost": (10.0, 20.0)},
+            errors=errors,
+            notes="a note",
+        )
+
+    def test_contains_title_and_note(self):
+        out = format_figure(self.make())
+        assert "[fig99] demo figure" in out
+        assert "note: a note" in out
+
+    def test_error_column_present(self):
+        out = format_figure(self.make())
+        assert "±" in out
+
+    def test_error_column_suppressed_when_zero(self):
+        result = FigureResult(
+            "f", "t", "x", (1,), {"a": (1.0,)}, errors={"a": (0.0,)}
+        )
+        assert "±" not in format_figure(result)
+
+    def test_show_errors_false(self):
+        out = format_figure(self.make(), show_errors=False)
+        assert "±" not in out
+
+    def test_all_x_values_present(self):
+        out = format_figure(self.make())
+        body = out.splitlines()
+        assert any(line.strip().startswith("1") for line in body)
+        assert any(line.strip().startswith("2") for line in body)

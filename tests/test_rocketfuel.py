@@ -1,0 +1,119 @@
+"""Tests for the Rocketfuel parser and the synthetic AS-7018 topology."""
+
+import numpy as np
+import pytest
+
+from repro.topology.rocketfuel import (
+    ATT_POPS,
+    att_like_topology,
+    load_rocketfuel,
+    parse_rocketfuel_edges,
+)
+from repro.topology.substrate import T1_MBPS, T2_MBPS
+
+
+class TestParser:
+    def test_basic_parse(self):
+        text = "a b 3.5\nb c 1.0\n"
+        assert parse_rocketfuel_edges(text) == [("a", "b", 3.5), ("b", "c", 1.0)]
+
+    def test_skips_comments_and_blanks(self):
+        text = "# header\n\na b 1\n   \n# tail\n"
+        assert parse_rocketfuel_edges(text) == [("a", "b", 1.0)]
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_rocketfuel_edges("a b\n")
+
+    def test_rejects_non_numeric_latency(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_rocketfuel_edges("a b xyz\n")
+
+    def test_rejects_non_positive_latency(self):
+        with pytest.raises(ValueError, match="> 0"):
+            parse_rocketfuel_edges("a b 0\n")
+
+    def test_city_state_tokens(self):
+        text = "New+York,NY Chicago,IL 17.2\n"
+        triples = parse_rocketfuel_edges(text)
+        assert triples[0][0] == "New+York,NY"
+
+
+class TestLoadRocketfuel:
+    def test_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "weights.intra"
+        path.write_text("ny chi 17\nchi dal 20\nny dal 35\n# done\n")
+        sub = load_rocketfuel(path, seed=0)
+        assert sub.n == 3
+        assert sub.n_links == 3
+        # ny->dal direct (35) equals the 2-hop path (37) minus... direct wins
+        assert sub.distance(0, 2) == 35.0
+
+    def test_parallel_edges_keep_minimum(self, tmp_path):
+        path = tmp_path / "w.intra"
+        path.write_text("a b 9\nb a 4\n")
+        sub = load_rocketfuel(path, seed=0)
+        assert sub.n_links == 1
+        assert sub.links[0].latency == 4.0
+
+    def test_self_edges_dropped(self, tmp_path):
+        path = tmp_path / "w.intra"
+        path.write_text("a a 3\na b 2\n")
+        sub = load_rocketfuel(path, seed=0)
+        assert sub.n == 2 and sub.n_links == 1
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "w.intra"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no edges"):
+            load_rocketfuel(path)
+
+    def test_bandwidths_assigned(self, tmp_path):
+        path = tmp_path / "w.intra"
+        path.write_text("a b 1\nb c 2\nc d 3\n")
+        sub = load_rocketfuel(path, seed=1)
+        assert all(l.bandwidth in (T1_MBPS, T2_MBPS) for l in sub.links)
+
+
+class TestAttLikeTopology:
+    def test_scale_matches_published_as7018(self):
+        sub = att_like_topology()
+        assert 100 <= sub.n <= 130  # published backbone map is ~115 nodes
+        assert sub.n_links >= sub.n  # more links than a tree
+
+    def test_connected_with_finite_latencies(self):
+        sub = att_like_topology()
+        assert np.isfinite(sub.distances).all()
+
+    def test_access_points_are_access_routers_only(self):
+        sub = att_like_topology()
+        n_pops = len(ATT_POPS)
+        assert sub.access_points.min() >= n_pops
+        expected = sum(count for *_rest, count in ATT_POPS)
+        assert sub.access_points.size == expected
+
+    def test_backbone_only_variant(self):
+        sub = att_like_topology(access_routers=False)
+        assert sub.n == len(ATT_POPS)
+        assert sub.access_points.size == sub.n
+
+    def test_deterministic(self):
+        assert att_like_topology().links == att_like_topology().links
+
+    def test_coast_to_coast_latency_plausible(self):
+        """NY <-> LA great-circle is ~3900 km -> >= ~20 ms one-way."""
+        sub = att_like_topology(access_routers=False)
+        ny, la = 0, 3  # indices in ATT_POPS
+        assert 15.0 <= sub.distance(ny, la) <= 40.0
+
+    def test_intra_pop_hop_is_short(self):
+        sub = att_like_topology()
+        access = int(sub.access_points[0])
+        # every access router is 0.5 ms from its PoP backbone router
+        pop = int(sub.neighbors(access)[0])
+        assert sub.distance(access, pop) == pytest.approx(0.5)
+
+    def test_latency_spread_is_heterogeneous(self):
+        sub = att_like_topology(access_routers=False)
+        lats = [l.latency for l in sub.links]
+        assert max(lats) / min(lats) > 5.0

@@ -1,0 +1,135 @@
+"""Tests for request routing (repro.core.routing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel
+from repro.core.load import QuadraticLoad
+from repro.core.routing import (
+    RoutingStrategy,
+    nearest_latency_cost,
+    route_requests,
+)
+from repro.topology.generators import erdos_renyi, line
+
+
+@pytest.fixture
+def path5():
+    return line(5, seed=0)
+
+
+class TestNearestRouting:
+    def test_single_server_gets_everything(self, path5, costs):
+        out = route_requests(path5, [2], np.array([0, 1, 4]), costs)
+        np.testing.assert_array_equal(out.assignment, [0, 0, 0])
+        # distances 2 + 1 + 2 = 5
+        assert out.latency_cost == pytest.approx(5.0)
+        np.testing.assert_array_equal(out.counts, [3])
+
+    def test_requests_pick_closest(self, path5, costs):
+        out = route_requests(path5, [0, 4], np.array([0, 1, 3, 4]), costs)
+        np.testing.assert_array_equal(out.assignment, [0, 0, 1, 1])
+        assert out.latency_cost == pytest.approx(0 + 1 + 1 + 0)
+
+    def test_linear_load_counts(self, path5, costs):
+        out = route_requests(path5, [0, 4], np.array([0, 0, 4]), costs)
+        np.testing.assert_array_equal(out.counts, [2, 1])
+        assert out.load_cost == pytest.approx(3.0)  # linear, strength 1
+
+    def test_access_cost_is_latency_plus_load(self, path5, costs):
+        out = route_requests(path5, [2], np.array([0, 4]), costs)
+        assert out.access_cost == pytest.approx(out.latency_cost + out.load_cost)
+
+    def test_wireless_hop_added_per_request(self, path5):
+        cm = CostModel.paper_default(wireless_hop=1.5)
+        out = route_requests(path5, [2], np.array([2, 2]), cm)
+        assert out.latency_cost == pytest.approx(3.0)
+
+    def test_empty_round_is_free(self, path5, costs):
+        out = route_requests(path5, [1], np.zeros(0, dtype=np.int64), costs)
+        assert out.access_cost == 0.0
+        assert out.assignment.size == 0
+
+    def test_no_servers_raises(self, path5, costs):
+        with pytest.raises(ValueError, match="no active servers"):
+            route_requests(path5, [], np.array([1]), costs)
+
+    def test_empty_round_no_servers_ok(self, path5, costs):
+        out = route_requests(path5, [], np.zeros(0, dtype=np.int64), costs)
+        assert out.access_cost == 0.0
+
+    def test_node_strengths_enter_load(self):
+        sub = line(3, seed=0)
+        strong = erdos_renyi(3, p=1.0, seed=0)  # placeholder, rebuilt below
+        from repro.topology.substrate import Link, Substrate
+
+        sub2 = Substrate(
+            3,
+            [Link(0, 1, 1, 1), Link(1, 2, 1, 1)],
+            strengths=[1.0, 4.0, 1.0],
+        )
+        cm = CostModel.paper_default()
+        out = route_requests(sub2, [1], np.array([1, 1, 1, 1]), cm)
+        assert out.load_cost == pytest.approx(1.0)  # 4 requests / strength 4
+
+
+class TestLoadAwareRouting:
+    def test_balances_quadratic_load(self, path5):
+        cm = CostModel.paper_default(load=QuadraticLoad())
+        requests = np.full(8, 2)  # all at the middle
+        near = route_requests(path5, [1, 3], requests, cm, RoutingStrategy.NEAREST)
+        aware = route_requests(path5, [1, 3], requests, cm, RoutingStrategy.LOAD_AWARE)
+        # nearest ties all to server index 0; aware splits 4/4
+        np.testing.assert_array_equal(np.sort(aware.counts), [4, 4])
+        assert aware.access_cost < near.access_cost
+
+    def test_matches_nearest_for_linear_uniform(self, path5, costs):
+        requests = np.array([0, 1, 2, 3, 4, 4])
+        near = route_requests(path5, [0, 4], requests, costs, RoutingStrategy.NEAREST)
+        aware = route_requests(
+            path5, [0, 4], requests, costs, RoutingStrategy.LOAD_AWARE
+        )
+        assert aware.access_cost == pytest.approx(near.access_cost)
+
+    def test_counts_sum_to_requests(self, path5, costs):
+        requests = np.array([0, 2, 2, 3])
+        out = route_requests(
+            path5, [1, 4], requests, costs, RoutingStrategy.LOAD_AWARE
+        )
+        assert out.counts.sum() == 4
+
+
+class TestNearestLatencyCost:
+    def test_matches_route_requests(self, path5, costs):
+        requests = np.array([0, 1, 3, 4, 4])
+        full = route_requests(path5, [0, 3], requests, costs)
+        fast = nearest_latency_cost(path5, [0, 3], requests)
+        assert fast == pytest.approx(full.latency_cost)
+
+    def test_empty_requests(self, path5):
+        assert nearest_latency_cost(path5, [1], np.zeros(0, dtype=np.int64)) == 0.0
+
+    def test_no_servers_raises(self, path5):
+        with pytest.raises(ValueError, match="no active servers"):
+            nearest_latency_cost(path5, [], np.array([0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    servers=st.sets(st.integers(0, 19), min_size=1, max_size=5),
+    requests=st.lists(st.integers(0, 19), min_size=0, max_size=30),
+)
+def test_nearest_is_latency_optimal(servers, requests):
+    """No assignment has lower latency than per-request nearest choice."""
+    sub = erdos_renyi(20, p=0.2, seed=3)
+    cm = CostModel.paper_default()
+    req = np.asarray(requests, dtype=np.int64)
+    out = route_requests(sub, sorted(servers), req, cm)
+
+    server_list = sorted(servers)
+    brute = sum(
+        min(sub.distance(int(a), s) for s in server_list) for a in requests
+    )
+    assert out.latency_cost == pytest.approx(brute)

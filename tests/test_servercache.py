@@ -1,0 +1,112 @@
+"""Tests for the inactive-server FIFO cache (repro.core.servercache)."""
+
+import pytest
+
+from repro.core.servercache import InactiveServerCache
+
+
+class TestPush:
+    def test_fifo_order(self):
+        cache = InactiveServerCache(max_size=3)
+        cache.push(1)
+        cache.push(2)
+        cache.push(3)
+        assert cache.nodes == (1, 2, 3)  # oldest first
+
+    def test_eviction_when_full(self):
+        cache = InactiveServerCache(max_size=2)
+        cache.push(1)
+        cache.push(2)
+        evicted = cache.push(3)
+        assert evicted == 1
+        assert cache.nodes == (2, 3)
+
+    def test_no_eviction_below_capacity(self):
+        cache = InactiveServerCache(max_size=2)
+        assert cache.push(1) is None
+
+    def test_rejects_duplicate_node(self):
+        cache = InactiveServerCache()
+        cache.push(5)
+        with pytest.raises(ValueError, match="already"):
+            cache.push(5)
+
+
+class TestPopAndRemove:
+    def test_pop_oldest(self):
+        cache = InactiveServerCache()
+        cache.push(7)
+        cache.push(8)
+        assert cache.pop_oldest() == 7
+        assert cache.nodes == (8,)
+
+    def test_pop_empty_returns_none(self):
+        assert InactiveServerCache().pop_oldest() is None
+
+    def test_remove_specific(self):
+        cache = InactiveServerCache()
+        cache.push(1)
+        cache.push(2)
+        cache.push(3)
+        assert cache.remove(2)
+        assert cache.nodes == (1, 3)
+
+    def test_remove_missing_returns_false(self):
+        cache = InactiveServerCache()
+        cache.push(1)
+        assert not cache.remove(9)
+
+    def test_contains_and_len(self):
+        cache = InactiveServerCache()
+        cache.push(4)
+        assert 4 in cache and 5 not in cache
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = InactiveServerCache()
+        cache.push(1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestExpiry:
+    def test_entries_expire_after_configured_epochs(self):
+        cache = InactiveServerCache(max_size=3, expiry_epochs=2)
+        cache.push(1)
+        assert cache.tick_epoch() == []  # age 1
+        assert cache.tick_epoch() == [1]  # age 2 -> expired
+        assert len(cache) == 0
+
+    def test_ages_tracked_per_entry(self):
+        cache = InactiveServerCache(max_size=3, expiry_epochs=2)
+        cache.push(1)
+        cache.tick_epoch()
+        cache.push(2)
+        expired = cache.tick_epoch()
+        assert expired == [1]
+        assert cache.nodes == (2,)
+
+    def test_push_resets_age_for_new_entry_only(self):
+        cache = InactiveServerCache(max_size=3, expiry_epochs=3)
+        cache.push(1)
+        cache.tick_epoch()
+        cache.tick_epoch()
+        cache.push(2)
+        expired = cache.tick_epoch()
+        assert expired == [1]
+        assert 2 in cache
+
+    def test_paper_defaults(self):
+        cache = InactiveServerCache()
+        assert cache.max_size == 3
+        assert cache.expiry_epochs == 20
+
+
+class TestValidation:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError, match="max_size"):
+            InactiveServerCache(max_size=0)
+
+    def test_rejects_zero_expiry(self):
+        with pytest.raises(ValueError, match="expiry_epochs"):
+            InactiveServerCache(expiry_epochs=0)

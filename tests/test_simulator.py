@@ -1,0 +1,185 @@
+"""Tests for the synchronous game loop (repro.core.simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.static import StaticPolicy
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.policy import AllocationPolicy
+from repro.core.routing import route_requests
+from repro.core.simulator import simulate
+from repro.topology.generators import line
+from repro.workload.base import Trace
+
+
+class ScriptedPolicy(AllocationPolicy):
+    """Returns a pre-scripted configuration per round (test double)."""
+
+    def __init__(self, initial, script):
+        self.initial = initial
+        self.script = script
+        self.seen = []
+
+    def reset(self, substrate, costs, rng):
+        return self.initial
+
+    def decide(self, t, requests, routing):
+        self.seen.append((t, requests.copy(), routing))
+        return self.script[t]
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+class TestAccounting:
+    def test_access_paid_by_previous_config(self, line5, costs):
+        """Round t's requests are served by the configuration from t-1."""
+        script = [Configuration.single(4), Configuration.single(4)]
+        policy = ScriptedPolicy(Configuration.single(0), script)
+        trace = trace_of([0], [0])
+        result = simulate(line5, policy, trace, costs)
+        # round 0 served from node 0 (distance 0), round 1 from node 4 (distance 4)
+        assert result.latency_cost[0] == pytest.approx(0.0)
+        assert result.latency_cost[1] == pytest.approx(4.0)
+
+    def test_migration_charged_on_switch(self, line5, costs):
+        script = [Configuration.single(1), Configuration.single(1)]
+        policy = ScriptedPolicy(Configuration.single(0), script)
+        result = simulate(line5, policy, trace_of([0], [0]), costs)
+        assert result.migration_cost[0] == costs.migration
+        assert result.migration_cost[1] == 0.0
+        assert result.total_migrations == 1
+
+    def test_creation_charged_for_growth(self, line5, costs):
+        script = [Configuration((0, 4))]
+        policy = ScriptedPolicy(Configuration.single(0), script)
+        result = simulate(line5, policy, trace_of([2]), costs)
+        assert result.creation_cost[0] == costs.creation
+
+    def test_running_cost_of_new_config(self, line5, costs):
+        script = [Configuration((0, 4)), Configuration((0, 4))]
+        policy = ScriptedPolicy(Configuration.single(0), script)
+        result = simulate(line5, policy, trace_of([0], [0]), costs)
+        np.testing.assert_allclose(result.running_cost, [5.0, 5.0])
+
+    def test_inactive_running_cost(self, line5, costs):
+        script = [Configuration((0,), (1,))]
+        policy = ScriptedPolicy(Configuration.single(0), script)
+        result = simulate(line5, policy, trace_of([0]), costs)
+        assert result.running_cost[0] == pytest.approx(2.5 + 0.5)
+
+    def test_total_equals_component_sum(self, line5, costs):
+        script = [Configuration.single(t % 2) for t in range(6)]
+        policy = ScriptedPolicy(Configuration.single(0), script)
+        result = simulate(line5, policy, trace_of(*[[0, 4]] * 6), costs)
+        assert result.total_cost == pytest.approx(result.breakdown.total)
+
+    def test_load_recorded_separately(self, line5, costs):
+        policy = ScriptedPolicy(
+            Configuration.single(2), [Configuration.single(2)]
+        )
+        result = simulate(line5, policy, trace_of([2, 2, 2]), costs)
+        assert result.load_cost[0] == pytest.approx(3.0)
+        assert result.latency_cost[0] == pytest.approx(0.0)
+
+    def test_empty_rounds_cost_running_only(self, line5, costs):
+        policy = ScriptedPolicy(Configuration.single(0), [Configuration.single(0)])
+        result = simulate(line5, policy, trace_of([]), costs)
+        assert result.access_cost[0] == 0.0
+        assert result.running_cost[0] == 2.5
+
+    def test_n_requests_recorded(self, line5, costs):
+        policy = ScriptedPolicy(
+            Configuration.single(0),
+            [Configuration.single(0)] * 2,
+        )
+        result = simulate(line5, policy, trace_of([0, 1, 2], []), costs)
+        np.testing.assert_array_equal(result.n_requests, [3, 0])
+
+    def test_default_cost_model_is_paper(self, line5):
+        policy = ScriptedPolicy(Configuration.single(0), [Configuration.single(1)])
+        result = simulate(line5, policy, trace_of([0]))
+        assert result.migration_cost[0] == 40.0
+
+
+class TestPolicyInteraction:
+    def test_policy_sees_routing_of_current_config(self, line5, costs):
+        policy = ScriptedPolicy(
+            Configuration.single(3), [Configuration.single(3)]
+        )
+        simulate(line5, policy, trace_of([1]), costs)
+        (t, requests, routing), = policy.seen
+        expected = route_requests(line5, [3], np.array([1]), costs)
+        assert routing.latency_cost == pytest.approx(expected.latency_cost)
+
+    def test_scenario_name_propagates(self, line5, costs):
+        policy = ScriptedPolicy(Configuration.single(0), [Configuration.single(0)])
+        trace = Trace((np.array([0]),), scenario_name="my-scenario")
+        result = simulate(line5, policy, trace, costs)
+        assert result.scenario_name == "my-scenario"
+        assert result.policy_name == "ScriptedPolicy"
+
+
+class TestValidation:
+    def test_trace_outside_substrate_rejected(self, line5, costs):
+        policy = ScriptedPolicy(Configuration.single(0), [Configuration.single(0)])
+        with pytest.raises(ValueError, match="substrate"):
+            simulate(line5, policy, trace_of([7]), costs)
+
+    def test_config_outside_substrate_rejected(self, line5, costs):
+        policy = ScriptedPolicy(Configuration.single(0), [Configuration.single(99)])
+        with pytest.raises(ValueError, match="outside"):
+            simulate(line5, policy, trace_of([0]), costs)
+
+    def test_max_servers_enforced(self, line5, costs):
+        policy = ScriptedPolicy(
+            Configuration.single(0), [Configuration((0, 1, 2))]
+        )
+        with pytest.raises(ValueError, match="k=2"):
+            simulate(line5, policy, trace_of([0]), costs, max_servers=2)
+
+    def test_initial_config_checked_too(self, line5, costs):
+        policy = ScriptedPolicy(Configuration((0, 1, 2)), [])
+        with pytest.raises(ValueError, match="initial"):
+            simulate(line5, policy, trace_of(), costs, max_servers=1)
+
+    def test_requests_with_no_active_server_rejected(self, line5, costs):
+        policy = ScriptedPolicy(Configuration.empty(), [Configuration.single(0)])
+        with pytest.raises(ValueError, match="no active servers"):
+            simulate(line5, policy, trace_of([1]), costs)
+
+    def test_migration_matrix_shape_checked(self, line5):
+        cm = CostModel(migration_matrix=np.zeros((3, 3)))
+        policy = ScriptedPolicy(Configuration.single(0), [Configuration.single(0)])
+        with pytest.raises(ValueError, match="migration_matrix"):
+            simulate(line5, policy, trace_of([0]), cm)
+
+
+class TestStaticPolicyThroughSimulator:
+    def test_switches_to_target_in_first_round(self, line5, costs):
+        target = Configuration((0, 4))
+        result = simulate(line5, StaticPolicy(target), trace_of([0], [4]), costs)
+        # round 0 served from the center start, round 1 from the fleet
+        assert result.n_active[0] == 2
+        assert result.latency_cost[1] == pytest.approx(0.0)
+
+    def test_pre_provisioned_start(self, line5, costs):
+        target = Configuration((0, 4))
+        policy = StaticPolicy(target, start=target)
+        result = simulate(line5, policy, trace_of([0]), costs)
+        assert result.creation_cost.sum() == 0.0
+
+    def test_build_out_charged_once(self, line5, costs):
+        target = Configuration((0, 4))
+        result = simulate(line5, StaticPolicy(target), trace_of([2], [2]), costs)
+        # center is node 2: two newcomers 0,4; donor = the center server
+        assert result.migration_cost[0] + result.creation_cost[0] == pytest.approx(
+            costs.migration + costs.creation
+        )
+        assert result.creation_cost[1:].sum() == 0.0
+
+    def test_rejects_empty_target(self):
+        with pytest.raises(ValueError, match="at least one active"):
+            StaticPolicy(Configuration.empty())

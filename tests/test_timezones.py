@@ -1,0 +1,122 @@
+"""Tests for the time-zone scenario (repro.workload.timezones)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.generators import erdos_renyi, line
+from repro.workload.base import generate_trace
+from repro.workload.timezones import TimeZoneScenario
+
+
+class TestParameters:
+    def test_defaults(self, line5):
+        scenario = TimeZoneScenario(line5)
+        assert scenario.period == 10
+        assert scenario.hotspot_share == 0.5
+        assert scenario.requests_per_round == 10
+
+    def test_day_length(self, line5):
+        scenario = TimeZoneScenario(line5, period=4, sojourn=7)
+        assert scenario.day_length == 28
+
+    def test_hotspot_requests_rounding(self, line5):
+        scenario = TimeZoneScenario(line5, hotspot_share=0.5, requests_per_round=3)
+        assert scenario.hotspot_requests == 2  # round(1.5)
+
+    def test_period_of(self, line5):
+        scenario = TimeZoneScenario(line5, period=3, sojourn=2)
+        assert [scenario.period_of(t) for t in range(8)] == [0, 0, 1, 1, 2, 2, 0, 0]
+
+    def test_rejects_bad_share(self, line5):
+        with pytest.raises(ValueError, match="hotspot_share"):
+            TimeZoneScenario(line5, hotspot_share=1.5)
+
+    def test_rejects_zero_requests(self, line5):
+        with pytest.raises(ValueError, match="requests_per_round"):
+            TimeZoneScenario(line5, requests_per_round=0)
+
+
+class TestGeneratedTraces:
+    def test_round_size_constant(self, line5):
+        scenario = TimeZoneScenario(line5, requests_per_round=7)
+        trace = generate_trace(scenario, 30, seed=0)
+        assert all(r.size == 7 for r in trace)
+
+    def test_hotspot_dominates_each_round(self):
+        sub = erdos_renyi(50, p=0.1, seed=1)
+        scenario = TimeZoneScenario(
+            sub, period=5, sojourn=4, hotspot_share=0.8, requests_per_round=10
+        )
+        trace = generate_trace(scenario, 40, seed=2)
+        for requests in trace:
+            _values, counts = np.unique(requests, return_counts=True)
+            assert counts.max() >= 8  # the pinned 80%
+
+    def test_hotspots_repeat_daily(self):
+        sub = erdos_renyi(50, p=0.1, seed=1)
+        scenario = TimeZoneScenario(
+            sub, period=4, sojourn=3, hotspot_share=1.0, requests_per_round=5
+        )
+        trace = generate_trace(scenario, 2 * scenario.day_length, seed=3)
+        day = scenario.day_length
+        for t in range(day):
+            # share=1.0: the whole round is the hotspot; same node next day
+            assert trace[t][0] == trace[t + day][0]
+
+    def test_hotspot_constant_within_period(self):
+        sub = erdos_renyi(50, p=0.1, seed=1)
+        scenario = TimeZoneScenario(
+            sub, period=4, sojourn=5, hotspot_share=1.0, requests_per_round=3
+        )
+        trace = generate_trace(scenario, 20, seed=4)
+        for p in range(4):
+            nodes = {int(trace[t][0]) for t in range(p * 5, (p + 1) * 5)}
+            assert len(nodes) == 1
+
+    def test_background_uses_access_points_only(self):
+        from repro.topology.substrate import Link, Substrate
+
+        sub = Substrate(
+            4,
+            [Link(0, 1, 1, 1), Link(1, 2, 1, 1), Link(2, 3, 1, 1)],
+            access_points=[1, 2],
+        )
+        scenario = TimeZoneScenario(
+            sub, period=2, sojourn=2, hotspot_share=0.0, requests_per_round=6
+        )
+        trace = generate_trace(scenario, 10, seed=5)
+        for requests in trace:
+            assert set(requests.tolist()) <= {1, 2}
+
+    def test_zero_share_is_uniform_background(self, line5):
+        scenario = TimeZoneScenario(
+            line5, hotspot_share=0.0, requests_per_round=4
+        )
+        trace = generate_trace(scenario, 200, seed=6)
+        hist = trace.node_histogram(5)
+        assert (hist > 0).all()  # every node eventually hit
+
+    def test_metadata(self, line5):
+        scenario = TimeZoneScenario(line5, period=3, sojourn=2)
+        trace = generate_trace(scenario, 4, seed=0)
+        assert trace.metadata["scenario"] == "timezones"
+        assert trace.metadata["period"] == 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    share=st.floats(0.0, 1.0),
+    requests=st.integers(1, 12),
+    seed=st.integers(0, 30),
+)
+def test_volume_and_split_invariants(share, requests, seed):
+    sub = line(20, seed=0)
+    scenario = TimeZoneScenario(
+        sub, period=3, sojourn=2, hotspot_share=share, requests_per_round=requests
+    )
+    trace = generate_trace(scenario, 12, seed=seed)
+    assert all(r.size == requests for r in trace)
+    pinned = scenario.hotspot_requests
+    assert 0 <= pinned <= requests

@@ -1,0 +1,128 @@
+"""Tests for request traces (repro.workload.base)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+
+
+class TestConstruction:
+    def test_rounds_frozen(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace[0][0] = 9
+
+    def test_source_arrays_copied(self):
+        src = np.array([1, 2])
+        trace = Trace((src,))
+        src[0] = 99
+        assert trace[0][0] == 1
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(ValueError, match="negative"):
+            Trace((np.array([-1]),))
+
+    def test_rejects_2d_round(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Trace((np.zeros((2, 2)),))
+
+    def test_empty_trace(self):
+        trace = Trace(())
+        assert len(trace) == 0
+        assert trace.total_requests == 0
+        assert trace.max_node == -1
+
+
+class TestQueries:
+    def test_len_and_iter(self, tiny_trace):
+        assert len(tiny_trace) == 5
+        assert sum(arr.size for arr in tiny_trace) == tiny_trace.total_requests
+
+    def test_total_requests(self, tiny_trace):
+        assert tiny_trace.total_requests == 9
+
+    def test_max_requests_per_round(self, tiny_trace):
+        assert tiny_trace.max_requests_per_round == 4
+
+    def test_max_node(self, tiny_trace):
+        assert tiny_trace.max_node == 4
+
+    def test_requests_per_round(self, tiny_trace):
+        np.testing.assert_array_equal(
+            tiny_trace.requests_per_round(), [3, 1, 0, 4, 1]
+        )
+
+    def test_node_histogram(self, tiny_trace):
+        hist = tiny_trace.node_histogram(5)
+        np.testing.assert_array_equal(hist, [2, 2, 1, 1, 3])
+
+    def test_node_histogram_range_checked(self, tiny_trace):
+        with pytest.raises(ValueError, match="n_nodes"):
+            tiny_trace.node_histogram(3)
+
+
+class TestWindowAndConcat:
+    def test_window(self, tiny_trace):
+        sub = tiny_trace.window(1, 4)
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub[0], [4])
+
+    def test_window_bounds_checked(self, tiny_trace):
+        with pytest.raises(ValueError, match="window"):
+            tiny_trace.window(3, 99)
+
+    def test_concat(self, tiny_trace):
+        double = tiny_trace.concat(tiny_trace)
+        assert len(double) == 10
+        assert double.total_requests == 18
+
+
+class TestPersistence:
+    def test_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        tiny_trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == len(tiny_trace)
+        for a, b in zip(loaded, tiny_trace):
+            np.testing.assert_array_equal(a, b)
+        assert loaded.scenario_name == "tiny"
+
+    def test_metadata_round_trip(self, tmp_path):
+        trace = Trace(
+            (np.array([1]),), scenario_name="x", metadata={"T": 4, "kind": "test"}
+        )
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.metadata == {"T": 4, "kind": "test"}
+
+    def test_empty_rounds_survive(self, tmp_path):
+        trace = Trace((np.zeros(0, dtype=np.int64), np.array([2])))
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded[0].size == 0
+        np.testing.assert_array_equal(loaded[1], [2])
+
+
+class TestGenerateTrace:
+    def test_horizon_respected(self, line5):
+        scenario = CommuterScenario(line5, period=4, sojourn=2)
+        trace = generate_trace(scenario, 17, seed=0)
+        assert len(trace) == 17
+
+    def test_zero_horizon(self, line5):
+        scenario = CommuterScenario(line5, period=4, sojourn=2)
+        assert len(generate_trace(scenario, 0, seed=0)) == 0
+
+    def test_negative_horizon_rejected(self, line5):
+        scenario = CommuterScenario(line5, period=4, sojourn=2)
+        with pytest.raises(ValueError, match="horizon"):
+            generate_trace(scenario, -1, seed=0)
+
+    def test_deterministic_given_seed(self, line5):
+        scenario = CommuterScenario(line5, period=4, sojourn=2)
+        a = generate_trace(scenario, 20, seed=5)
+        b = generate_trace(scenario, 20, seed=5)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

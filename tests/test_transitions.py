@@ -1,0 +1,192 @@
+"""Tests for transition pricing — including the paper's Examples 1-3 (§II-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.transitions import price_transition
+
+CM = CostModel.paper_default()  # β=40 < c=400
+CM_EXPENSIVE = CostModel.migration_expensive()  # β=400 > c=40
+
+
+class TestPaperExample1:
+    """Three active servers at v1,v2,v3; add a server at v4 (§II-C Ex. 1)."""
+
+    def test_case1_no_inactive_creates(self):
+        old = Configuration((1, 2, 3))
+        new = Configuration((1, 2, 3, 4))
+        out = price_transition(old, new, CM)
+        assert out.creations == 1 and out.migrations == 0
+        assert out.cost == CM.creation
+
+    def test_case2_inactive_at_target_activates_free(self):
+        old = Configuration((1, 2, 3), (4,))
+        new = Configuration((1, 2, 3, 4))
+        out = price_transition(old, new, CM)
+        assert out.activations == 1
+        assert out.cost == 0.0
+
+    def test_case3_inactive_elsewhere_migrates(self):
+        old = Configuration((1, 2, 3), (5,))
+        new = Configuration((1, 2, 3, 4))  # v5's server gone afterwards
+        out = price_transition(old, new, CM)
+        assert out.migrations == 1 and out.creations == 0
+        assert out.cost == CM.migration
+
+
+class TestPaperExample2:
+    """Servers at v1,v2,v3; change to v1,v2,v4 (§II-C Ex. 2)."""
+
+    def test_case1_inactive_at_v4_free(self):
+        old = Configuration((1, 2, 3), (4,))
+        new = Configuration((1, 2, 4), (3,))  # v3 deactivates, v4 activates
+        out = price_transition(old, new, CM)
+        assert out.cost == 0.0
+        assert out.activations == 1 and out.deactivations == 1
+
+    def test_case2_migrate_inactive_from_v5(self):
+        old = Configuration((1, 2, 3), (5,))
+        new = Configuration((1, 2, 4), (3,))  # v5 vanished, v3 cached
+        out = price_transition(old, new, CM)
+        assert out.migrations == 1
+        assert out.cost == CM.migration
+
+    def test_case3_migrate_active_v3(self):
+        old = Configuration((1, 2, 3))
+        new = Configuration((1, 2, 4))  # no server at v3 anymore
+        out = price_transition(old, new, CM)
+        assert out.migrations == 1
+        assert out.cost == CM.migration
+
+
+class TestPaperExample3:
+    """Removing a server is free; it enters the inactive cache (§II-C Ex. 3)."""
+
+    def test_deactivation_free(self):
+        old = Configuration((1, 2, 3))
+        new = Configuration((1, 3), (2,))
+        out = price_transition(old, new, CM)
+        assert out.cost == 0.0
+        assert out.deactivations == 1
+
+    def test_dropping_entirely_also_free(self):
+        old = Configuration((1, 2, 3))
+        new = Configuration((1, 3))
+        out = price_transition(old, new, CM)
+        assert out.cost == 0.0
+        assert out.dropped == 1
+
+
+class TestGeneralPricing:
+    def test_identity_is_free(self):
+        cfg = Configuration((1, 2), (3,))
+        assert price_transition(cfg, cfg, CM).cost == 0.0
+
+    def test_beta_greater_than_c_never_migrates(self):
+        old = Configuration((1,))
+        new = Configuration((2,))
+        out = price_transition(old, new, CM_EXPENSIVE)
+        assert out.migrations == 0 and out.creations == 1
+        assert out.cost == CM_EXPENSIVE.creation
+
+    def test_multiple_newcomers_mix_migrations_and_creations(self):
+        old = Configuration((1,), (2,))
+        new = Configuration((3, 4, 5))  # 3 newcomers, donors: v1? no—v1 stays?
+        # v1 is dropped (not in new), v2 dropped: 2 donors, so 2 migrations + 1 creation
+        out = price_transition(old, new, CM)
+        assert out.migrations == 2 and out.creations == 1
+        assert out.cost == 2 * CM.migration + CM.creation
+
+    def test_fresh_inactive_server_costs_creation(self):
+        old = Configuration((1,))
+        new = Configuration((1,), (2,))
+        out = price_transition(old, new, CM)
+        assert out.creations == 1
+        assert out.cost == CM.creation
+
+    def test_expiring_inactive_servers_free(self):
+        old = Configuration((1,), (2, 3))
+        new = Configuration((1,))
+        out = price_transition(old, new, CM)
+        assert out.cost == 0.0
+        assert out.dropped == 2
+
+    def test_full_turnover(self):
+        old = Configuration((1, 2))
+        new = Configuration((3, 4))
+        out = price_transition(old, new, CM)
+        assert out.migrations == 2
+        assert out.cost == 2 * CM.migration
+
+    def test_grow_fleet_beyond_donors(self):
+        old = Configuration((0,))
+        new = Configuration((1, 2, 3))
+        out = price_transition(old, new, CM)
+        assert out.migrations == 1 and out.creations == 2
+
+
+class TestMatrixPricing:
+    def make_model(self):
+        matrix = np.array(
+            [
+                [0.0, 10.0, 500.0],
+                [10.0, 0.0, 20.0],
+                [500.0, 20.0, 0.0],
+            ]
+        )
+        return CostModel(migration=40, creation=100, migration_matrix=matrix)
+
+    def test_cheap_pair_migrates(self):
+        cm = self.make_model()
+        out = price_transition(Configuration((0,)), Configuration((1,)), cm)
+        assert out.migrations == 1
+        assert out.migration_cost == 10.0
+
+    def test_expensive_pair_creates_instead(self):
+        cm = self.make_model()
+        out = price_transition(Configuration((0,)), Configuration((2,)), cm)
+        assert out.migrations == 0 and out.creations == 1
+        assert out.cost == 100.0
+
+    def test_optimal_matching_two_moves(self):
+        """Hungarian matching picks the cheap pairing, not the greedy one."""
+        matrix = np.array(
+            [
+                [0.0, 5.0, 60.0],
+                [5.0, 0.0, 50.0],
+                [60.0, 50.0, 0.0],
+            ]
+        )
+        cm = CostModel(creation=100, migration_matrix=matrix)
+        old = Configuration((0, 1))
+        new = Configuration((2,), ())
+        # one newcomer (2), donors {0, 1}: best donor is 1 at cost 50
+        out = price_transition(old, new, cm)
+        assert out.migration_cost == 50.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    old_active=st.sets(st.integers(0, 9), max_size=4),
+    old_inactive=st.sets(st.integers(10, 14), max_size=3),
+    new_active=st.sets(st.integers(0, 14), min_size=0, max_size=4),
+    expensive=st.booleans(),
+)
+def test_pricing_properties(old_active, old_inactive, new_active, expensive):
+    """Cost is non-negative, bounded by all-creations, and zero for subsets."""
+    cm = CM_EXPENSIVE if expensive else CM
+    old = Configuration.of(old_active, old_inactive)
+    new = Configuration.of(new_active)
+    out = price_transition(old, new, cm)
+
+    assert out.cost >= 0.0
+    newcomers = new_active - old_active - old_inactive
+    assert out.cost <= len(newcomers) * cm.creation
+    if new_active <= (old_active | old_inactive):
+        assert out.cost == 0.0
+    # conservation: every newcomer is either migrated-to or created
+    assert out.migrations + out.creations == len(newcomers)

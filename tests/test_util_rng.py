@@ -1,0 +1,69 @@
+"""Tests for the seeded RNG plumbing (repro.util.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(8)
+        b = ensure_rng(2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passed_through_unchanged(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        gen = ensure_rng(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_float_seed(self):
+        with pytest.raises(TypeError, match="seed"):
+            ensure_rng(1.5)
+
+    def test_rejects_string_seed(self):
+        with pytest.raises(TypeError, match="seed"):
+            ensure_rng("abc")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_rngs(5, 2)
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    def test_same_seed_same_streams(self):
+        first = [g.random(4) for g in spawn_rngs(9, 3)]
+        second = [g.random(4) for g in spawn_rngs(9, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_prefix_stability(self):
+        """Child i does not depend on how many children are spawned."""
+        few = spawn_rngs(3, 2)
+        many = spawn_rngs(3, 5)
+        np.testing.assert_array_equal(few[0].random(4), many[0].random(4))
+        np.testing.assert_array_equal(few[1].random(4), many[1].random(4))
+
+    def test_none_seed_allowed(self):
+        assert len(spawn_rngs(None, 2)) == 2

@@ -1,0 +1,110 @@
+"""Tests for the work function algorithm (repro.algorithms.workfunction)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.opt import Opt
+from repro.algorithms.workfunction import WorkFunctionPolicy
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import erdos_renyi, line
+from repro.workload.base import Trace, generate_trace
+from repro.workload.commuter import CommuterScenario
+
+
+def trace_of(*rounds):
+    return Trace(tuple(np.asarray(r, dtype=np.int64) for r in rounds))
+
+
+class TestSetup:
+    def test_starts_at_center(self, line5, costs, rng):
+        policy = WorkFunctionPolicy(max_servers=2)
+        assert policy.reset(line5, costs, rng) == Configuration.single(line5.center)
+
+    def test_space_size(self, line5, costs, rng):
+        policy = WorkFunctionPolicy(max_servers=2)
+        policy.reset(line5, costs, rng)
+        assert policy.n_configurations == 15
+
+    def test_budget_guard(self, costs, rng):
+        sub = erdos_renyi(300, seed=0)
+        with pytest.raises(ValueError, match="budget"):
+            WorkFunctionPolicy(max_servers=3).reset(sub, costs, rng)
+
+    def test_initial_work_function_is_distance_from_start(self, line5, costs, rng):
+        policy = WorkFunctionPolicy(max_servers=1)
+        policy.reset(line5, costs, rng)
+        w = policy.work_function
+        # moving the single server from the center anywhere costs β
+        assert w[line5.center] == 0.0
+        assert all(
+            v == pytest.approx(min(costs.migration, costs.creation))
+            for i, v in enumerate(w)
+            if i != line5.center
+        )
+
+
+class TestBehaviour:
+    def test_runs_through_simulator(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 50, seed=0)
+        result = simulate(
+            line5_latency, WorkFunctionPolicy(max_servers=2), trace, costs
+        )
+        assert result.rounds == 50
+        assert (result.n_active >= 1).all()
+
+    def test_chases_persistent_remote_demand(self):
+        sub = line(5, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=5, creation=50, run_active=0.5, run_inactive=0.5)
+        trace = trace_of(*[[4, 4]] * 40)
+        result = simulate(sub, WorkFunctionPolicy(max_servers=1), trace, cm)
+        assert result.total_migrations >= 1
+        assert result.latency_cost[-1] == 0.0
+
+    def test_ignores_transient_noise(self):
+        """One odd round must not trigger a move (the work function damps it)."""
+        sub = line(5, seed=0, unit_latency=False, latency_range=(10, 10))
+        cm = CostModel(migration=100, creation=400, run_active=0.5, run_inactive=0.5)
+        rounds = [[2]] * 20 + [[0]] + [[2]] * 20
+        result = simulate(
+            sub, WorkFunctionPolicy(max_servers=1), trace_of(*rounds), cm
+        )
+        assert result.total_migrations == 0
+
+    def test_opt_lower_bounds_wfa(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 60, seed=2)
+        wfa = simulate(
+            line5_latency, WorkFunctionPolicy(max_servers=3), trace, costs
+        )
+        opt_cost, _ = Opt.solve(line5_latency, trace, costs)
+        assert opt_cost <= wfa.total_cost + 1e-9
+
+    def test_work_function_is_monotone_nondecreasing(self, line5_latency, costs):
+        """w_t(γ) ≥ w_{t-1}(γ) pointwise (serving more rounds costs more)."""
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=3)
+        trace = generate_trace(scenario, 20, seed=3)
+        policy = WorkFunctionPolicy(max_servers=2)
+        rng = np.random.default_rng(0)
+        policy.reset(line5_latency, costs, rng)
+        previous = policy.work_function
+        from repro.core.routing import route_requests
+
+        config = policy.configuration
+        for t, requests in enumerate(trace):
+            routed = route_requests(
+                line5_latency, np.asarray(config.active), requests, costs
+            )
+            config = policy.decide(t, requests, routed)
+            current = policy.work_function
+            assert (current >= previous - 1e-9).all()
+            previous = current
+
+    def test_deterministic(self, line5_latency, costs):
+        scenario = CommuterScenario(line5_latency, period=4, sojourn=5)
+        trace = generate_trace(scenario, 40, seed=4)
+        a = simulate(line5_latency, WorkFunctionPolicy(max_servers=2), trace, costs)
+        b = simulate(line5_latency, WorkFunctionPolicy(max_servers=2), trace, costs)
+        np.testing.assert_allclose(a.per_round_total, b.per_round_total)
