@@ -25,6 +25,27 @@ Quickstart::
     print(result.total_cost, result.breakdown)
 """
 
+from repro.api import (
+    CostSpec,
+    ExperimentSpec,
+    PolicySpec,
+    ProcessPoolBackend,
+    ScenarioSpec,
+    SerialBackend,
+    SweepSpec,
+    TopologySpec,
+    list_policies,
+    list_scenarios,
+    list_topologies,
+    register_policy,
+    register_scenario,
+    register_topology,
+    resolve_policy,
+    resolve_scenario,
+    resolve_topology,
+    run_experiment,
+    run_sweep,
+)
 from repro.algorithms import (
     BeamOpt,
     OffBR,
@@ -89,6 +110,26 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # declarative api
+    "TopologySpec",
+    "ScenarioSpec",
+    "PolicySpec",
+    "CostSpec",
+    "ExperimentSpec",
+    "SweepSpec",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "run_experiment",
+    "run_sweep",
+    "register_policy",
+    "register_scenario",
+    "register_topology",
+    "resolve_policy",
+    "resolve_scenario",
+    "resolve_topology",
+    "list_policies",
+    "list_scenarios",
+    "list_topologies",
     # algorithms
     "OnConf",
     "OnBR",

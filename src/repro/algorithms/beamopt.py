@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
 from repro.core.policy import OfflinePolicy
@@ -39,6 +40,7 @@ _TARGETS_PER_ROUND = 6
 _MOVE_SOURCES = 3
 
 
+@register_policy("beamopt")
 class BeamOpt(OfflinePolicy):
     """Offline beam-search allocation planner (§IV-B sampling heuristic).
 

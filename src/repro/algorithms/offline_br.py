@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.algorithms.onbr import OnBR
 from repro.algorithms.onth import OnTH
 from repro.core.config import Configuration
@@ -59,6 +60,7 @@ def _lookahead_rounds(
     return rounds
 
 
+@register_policy("offbr")
 class OffBR(OnBR, OfflinePolicy):
     """Offline best-response (OFFBR, §IV-B): ONBR deciding on the next epoch."""
 
@@ -92,6 +94,7 @@ class OffBR(OnBR, OfflinePolicy):
         return RequestBatch(self._substrate, self._costs, upcoming)
 
 
+@register_policy("offth")
 class OffTH(OnTH, OfflinePolicy):
     """Offline two-threshold (OFFTH, §IV-B): ONTH deciding on upcoming windows."""
 

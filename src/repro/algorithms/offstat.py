@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
 from repro.core.evaluation import RequestBatch
@@ -35,6 +36,7 @@ __all__ = ["OffStat"]
 _PATIENCE = 3
 
 
+@register_policy("offstat")
 class OffStat(OfflinePolicy):
     """Greedy static placement with optimal fleet size (OFFSTAT, §V-B).
 

@@ -31,6 +31,7 @@ from repro.algorithms._families import apply_choice, best_choice, enumerate_choi
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
 from repro.core.evaluation import RequestBatch
+from repro.api.registry import register_policy
 from repro.core.policy import AllocationPolicy
 from repro.core.routing import RoutingResult
 from repro.core.servercache import InactiveServerCache
@@ -40,6 +41,7 @@ from repro.util.validation import check_positive, check_positive_int
 __all__ = ["OnBR"]
 
 
+@register_policy("onbr", aliases=("onbr-fixed",))
 class OnBR(AllocationPolicy):
     """Online best-response allocation (ONBR, §III-A).
 
@@ -156,3 +158,9 @@ class OnBR(AllocationPolicy):
         self._epoch_rounds = 0
         self._epoch_cost = 0.0
         self._batch.clear()
+
+
+@register_policy("onbr-dyn")
+def onbr_dyn(**kwargs) -> OnBR:
+    """The "dyn" variant θ = 2c/ℓ as a registry factory (§V-B)."""
+    return OnBR(dynamic_threshold=True, **kwargs)

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
+from repro.api.registry import register_policy
 from repro.core.policy import AllocationPolicy
 from repro.core.routing import RoutingResult
 from repro.topology.substrate import Substrate
@@ -41,6 +42,7 @@ __all__ = ["OnConf"]
 _MAX_CONFIGURATIONS = 20_000
 
 
+@register_policy("onconf")
 class OnConf(AllocationPolicy):
     """Online configuration-counter algorithm (ONCONF, §III).
 

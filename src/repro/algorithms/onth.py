@@ -32,6 +32,7 @@ from repro.algorithms._families import (
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
 from repro.core.evaluation import RequestBatch
+from repro.api.registry import register_policy
 from repro.core.policy import AllocationPolicy
 from repro.core.routing import RoutingResult
 from repro.core.servercache import InactiveServerCache
@@ -41,6 +42,7 @@ from repro.util.validation import check_positive, check_positive_int
 __all__ = ["OnTH"]
 
 
+@register_policy("onth")
 class OnTH(AllocationPolicy):
     """Online two-threshold allocation (ONTH, §III-A).
 

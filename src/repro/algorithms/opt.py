@@ -31,6 +31,7 @@ from itertools import product
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
 from repro.core.policy import OfflinePolicy
@@ -126,6 +127,7 @@ def _mask_to_nodes(mask: int) -> tuple[int, ...]:
     return tuple(i for i in range(mask.bit_length()) if mask >> i & 1)
 
 
+@register_policy("opt")
 class Opt(OfflinePolicy):
     """Optimal offline allocation via dynamic programming (OPT, §IV-A).
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_policy
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
 from repro.core.policy import AllocationPolicy
@@ -26,6 +27,7 @@ from repro.topology.substrate import Substrate
 __all__ = ["StaticPolicy"]
 
 
+@register_policy("static")
 class StaticPolicy(AllocationPolicy):
     """Serve every round from one fixed configuration.
 

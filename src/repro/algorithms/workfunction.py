@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
+from repro.api.registry import register_policy
 from repro.core.policy import AllocationPolicy
 from repro.core.routing import RoutingResult
 from repro.core.transitions import price_transition
@@ -43,6 +44,7 @@ __all__ = ["WorkFunctionPolicy"]
 _MAX_CONFIGURATIONS = 5_000
 
 
+@register_policy("workfunction", aliases=("wfa",))
 class WorkFunctionPolicy(AllocationPolicy):
     """Online allocation via the MTS work function algorithm.
 

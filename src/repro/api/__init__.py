@@ -1,0 +1,81 @@
+"""Declarative experiment API: registries, specs and execution backends.
+
+This package is the chassis of the experiment stack:
+
+* :mod:`repro.api.registry` — name → component registries populated by
+  ``@register_policy`` / ``@register_scenario`` / ``@register_topology`` /
+  ``@register_figure`` decorators at the definition sites;
+* :mod:`repro.api.specs` — frozen, JSON-safe dataclasses describing a run
+  purely as data (:class:`ExperimentSpec`, :class:`SweepSpec`, ...);
+* :mod:`repro.api.execution` — pluggable :class:`ExecutionBackend`\\ s
+  (serial or process pool) with bit-identical results;
+* :mod:`repro.api.experiment` — :func:`run_experiment` / :func:`run_sweep`
+  executing specs through the simulator and sweep engine.
+
+Exports resolve lazily (PEP 562) so this package never participates in
+import cycles: component modules may import the registry decorators while
+the experiment layer imports the spec executor.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    # registry
+    "Registry": "repro.api.registry",
+    "UnknownNameError": "repro.api.registry",
+    "FigureEntry": "repro.api.registry",
+    "POLICIES": "repro.api.registry",
+    "SCENARIOS": "repro.api.registry",
+    "TOPOLOGIES": "repro.api.registry",
+    "FIGURES": "repro.api.registry",
+    "register_policy": "repro.api.registry",
+    "register_scenario": "repro.api.registry",
+    "register_topology": "repro.api.registry",
+    "register_figure": "repro.api.registry",
+    "resolve_policy": "repro.api.registry",
+    "resolve_scenario": "repro.api.registry",
+    "resolve_topology": "repro.api.registry",
+    "resolve_figure": "repro.api.registry",
+    "list_policies": "repro.api.registry",
+    "list_scenarios": "repro.api.registry",
+    "list_topologies": "repro.api.registry",
+    "list_figures": "repro.api.registry",
+    # specs
+    "TopologySpec": "repro.api.specs",
+    "ScenarioSpec": "repro.api.specs",
+    "PolicySpec": "repro.api.specs",
+    "CostSpec": "repro.api.specs",
+    "ExperimentSpec": "repro.api.specs",
+    "SweepSpec": "repro.api.specs",
+    "parse_component": "repro.api.specs",
+    "parse_value": "repro.api.specs",
+    # execution
+    "ReplicateTask": "repro.api.execution",
+    "ExecutionBackend": "repro.api.execution",
+    "SerialBackend": "repro.api.execution",
+    "ProcessPoolBackend": "repro.api.execution",
+    # experiment
+    "ExperimentResult": "repro.api.experiment",
+    "SpecReplicate": "repro.api.experiment",
+    "resolve_series_labels": "repro.api.experiment",
+    "run_experiment": "repro.api.experiment",
+    "run_replicate": "repro.api.experiment",
+    "run_sweep": "repro.api.experiment",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,206 @@
+"""Execution backends: where a sweep's replicates actually run.
+
+:func:`~repro.experiments.runner.sweep_experiment` turns a sweep into a flat
+list of :class:`ReplicateTask`\\ s — one per ``(sweep point, run)`` pair, each
+carrying the exact ``numpy.random.SeedSequence`` child that the serial loop
+would have used. A backend only chooses *where* those tasks execute:
+
+* :class:`SerialBackend` — in-process loop, the default;
+* :class:`ProcessPoolBackend` — fan-out over worker processes.
+
+Because the child seeds are spawned up front in the parent and travel with
+the tasks, a replicate sees bit-identical randomness no matter which backend
+runs it: serial and parallel sweeps produce identical
+:class:`~repro.experiments.runner.FigureResult`\\ s.
+
+Replicate callables defined at module level (e.g. the spec-driven
+:class:`~repro.api.experiment.SpecReplicate`) are pickled to the workers
+directly. Closure replicates — the style the figure modules use — cannot be
+pickled; for those the pool falls back to ``fork``-started workers that
+inherit the replicate through process memory (available on POSIX). If
+neither route works the backend degrades to serial execution with a warning
+rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import abc
+import functools
+import multiprocessing
+import os
+import pickle
+import threading
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ReplicateTask",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+]
+
+#: A replicate maps ``(x, rng) -> {series name: value}``.
+Replicate = Callable[[Any, np.random.Generator], Mapping[str, float]]
+
+#: Optional per-result hook ``(index, task, result)`` invoked as results
+#: become available, in task order — raising from it aborts the batch, which
+#: is how the sweep engine fails fast on malformed replicate output instead
+#: of discarding a long run's remaining compute.
+ResultHook = Callable[[int, "ReplicateTask", Mapping[str, float]], None]
+
+
+@dataclass(frozen=True)
+class ReplicateTask:
+    """One unit of sweep work: a sweep-point value plus its dedicated seed."""
+
+    x: Any
+    seed: np.random.SeedSequence
+
+
+def _execute(replicate: Replicate, task: ReplicateTask) -> Mapping[str, float]:
+    """Run one task; the single place a task's rng is materialised."""
+    return replicate(task.x, np.random.default_rng(task.seed))
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for executing a batch of replicate tasks.
+
+    Implementations must return one result per task, in task order, and must
+    derive each task's generator from its own ``seed`` (use
+    :func:`numpy.random.default_rng`) so results are backend-independent.
+    """
+
+    @abc.abstractmethod
+    def run_replicates(
+        self,
+        replicate: Replicate,
+        tasks: Sequence[ReplicateTask],
+        on_result: "ResultHook | None" = None,
+    ) -> list:
+        """Execute every task and return the results in task order.
+
+        ``on_result`` (when given) must be called with ``(index, task,
+        result)`` as each result becomes available, in task order.
+        """
+
+
+def _collect(tasks, results, on_result) -> list:
+    """Drain ``results`` (an iterable in task order) through the hook."""
+    out = []
+    for index, (task, result) in enumerate(zip(tasks, results)):
+        if on_result is not None:
+            on_result(index, task, result)
+        out.append(result)
+    return out
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, sequential execution — the reference behaviour."""
+
+    def run_replicates(
+        self,
+        replicate: Replicate,
+        tasks: Sequence[ReplicateTask],
+        on_result: "ResultHook | None" = None,
+    ) -> list:
+        return _collect(
+            tasks, (_execute(replicate, task) for task in tasks), on_result
+        )
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+#: Work shipped to fork-started workers through inherited memory; set only
+#: for the duration of one ``run_replicates`` call. The lock serialises
+#: concurrent fork-path calls (e.g. from threads), which would otherwise
+#: overwrite each other's state before the workers fork.
+_FORK_STATE: "tuple[Replicate, list[ReplicateTask]] | None" = None
+_FORK_LOCK = threading.Lock()
+
+
+def _execute_forked(index: int) -> Mapping[str, float]:
+    replicate, tasks = _FORK_STATE
+    return _execute(replicate, tasks[index])
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan replicates out across worker processes.
+
+    Args:
+        workers: pool size; ``None`` uses :func:`os.cpu_count`.
+    """
+
+    def __init__(self, workers: "int | None" = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def run_replicates(
+        self,
+        replicate: Replicate,
+        tasks: Sequence[ReplicateTask],
+        on_result: "ResultHook | None" = None,
+    ) -> list:
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.workers == 1:
+            return SerialBackend().run_replicates(replicate, tasks, on_result)
+
+        workers = min(self.workers, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 4))
+
+        if _is_picklable(replicate):
+            execute = functools.partial(_execute, replicate)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return _collect(
+                    tasks, pool.map(execute, tasks, chunksize=chunksize),
+                    on_result,
+                )
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            global _FORK_STATE
+            with _FORK_LOCK:
+                _FORK_STATE = (replicate, tasks)
+                try:
+                    context = multiprocessing.get_context("fork")
+                    with ProcessPoolExecutor(
+                        max_workers=workers, mp_context=context
+                    ) as pool:
+                        return _collect(
+                            tasks,
+                            pool.map(
+                                _execute_forked,
+                                range(len(tasks)),
+                                chunksize=chunksize,
+                            ),
+                            on_result,
+                        )
+                finally:
+                    _FORK_STATE = None
+
+        warnings.warn(
+            "replicate is not picklable and fork start method is unavailable; "
+            "running the sweep serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return SerialBackend().run_replicates(replicate, tasks, on_result)
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(workers={self.workers})"

@@ -1,0 +1,198 @@
+"""Executing declarative specs: ``run_experiment`` and ``run_sweep``.
+
+These are the two entry points the spec layer adds on top of
+:func:`repro.core.simulator.simulate` and
+:func:`repro.experiments.runner.sweep_experiment`:
+
+* :func:`run_experiment` materialises one :class:`ExperimentSpec` — build
+  the substrate, generate the trace, run every policy — and returns the full
+  per-policy :class:`~repro.core.results.RunResult` ledgers.
+* :func:`run_sweep` turns a :class:`SweepSpec` into a
+  :class:`~repro.experiments.runner.FigureResult` via the sweep engine; pass
+  an :class:`~repro.api.execution.ExecutionBackend` to parallelise the
+  replicates (results are bit-identical across backends).
+
+Randomness follows the figure-module convention: one generator drives
+topology construction, trace generation and every policy's simulation in
+declaration order, so a spec plus a seed pins the exact run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.api.execution import ExecutionBackend
+from repro.api.specs import ExperimentSpec, SweepSpec
+from repro.core.results import RunResult
+from repro.core.simulator import simulate
+from repro.workload.base import generate_trace
+
+# NOTE: repro.experiments.runner is imported lazily inside the functions that
+# need it. The figure modules import this module at load time, so a top-level
+# import here would cycle through the repro.experiments package __init__.
+
+__all__ = [
+    "ExperimentResult",
+    "SpecReplicate",
+    "resolve_series_labels",
+    "run_experiment",
+    "run_replicate",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The outcome of one :func:`run_experiment` call.
+
+    Attributes:
+        spec: the executed spec (self-describing provenance).
+        results: mapping policy label → full :class:`RunResult` ledger, in
+            the spec's policy order.
+    """
+
+    spec: ExperimentSpec
+    results: "Mapping[str, RunResult]"
+
+    @property
+    def total_costs(self) -> "dict[str, float]":
+        """Grand total cost per policy label."""
+        return {label: run.total_cost for label, run in self.results.items()}
+
+    def to_figure_result(self) -> "FigureResult":
+        """Render the totals as a single-point :class:`FigureResult`."""
+        from repro.experiments.runner import FigureResult
+
+        return FigureResult(
+            figure=self.spec.name or "experiment",
+            title=f"{self.spec.scenario.kind} on {self.spec.topology.kind}",
+            x_label="metric",
+            x_values=("total cost",),
+            series={label: (cost,) for label, cost in self.total_costs.items()},
+        )
+
+
+def _materialise(spec: ExperimentSpec, rng: np.random.Generator):
+    """Build the concrete substrate, trace and cost model for one replicate."""
+    substrate = spec.topology.build(rng)
+    scenario = spec.scenario.build(substrate)
+    trace = generate_trace(scenario, spec.horizon, rng)
+    return substrate, trace, spec.costs.to_cost_model()
+
+
+def run_replicate(
+    spec: ExperimentSpec, rng: np.random.Generator
+) -> "dict[str, float]":
+    """One independent replicate of ``spec``: total cost per policy label.
+
+    This is the sweep-engine shape (``(x, rng) -> {series: value}`` minus
+    the ``x``); :func:`run_sweep` fans it out per sweep point.
+    """
+    substrate, trace, costs = _materialise(spec, rng)
+    out: dict[str, float] = {}
+    for policy_spec in spec.policies:
+        policy = policy_spec.build()
+        run = simulate(
+            substrate,
+            policy,
+            trace,
+            costs,
+            routing=spec.routing_strategy,
+            seed=rng,
+        )
+        out[_series_label(policy_spec, policy, out)] = run.total_cost
+    return out
+
+
+def resolve_series_labels(spec: ExperimentSpec) -> "tuple[str, ...]":
+    """Build each policy and return its series label, raising on collisions.
+
+    Useful as a cheap pre-flight before a long sweep: it surfaces label
+    collisions (and bad policy parameters) without simulating anything.
+    """
+    taken: dict[str, bool] = {}
+    for policy_spec in spec.policies:
+        taken[_series_label(policy_spec, policy_spec.build(), taken)] = True
+    return tuple(taken)
+
+
+def _series_label(policy_spec, policy, taken) -> str:
+    """The result key for one policy, guarding against silent collisions.
+
+    Spec validation can only compare labels/kinds; two different kinds may
+    still build policies reporting the same ``name`` (e.g. ``onbr`` and
+    ``onbr-fixed``), which would overwrite each other's series.
+    """
+    label = policy_spec.label or policy.name
+    if label in taken:
+        raise ValueError(
+            f"policies {sorted(p for p in taken)} + {policy_spec.kind!r} "
+            f"collide on series label {label!r}; set PolicySpec.label to "
+            "disambiguate"
+        )
+    return label
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute ``spec`` once (seeded by ``spec.seed``) keeping full ledgers."""
+    rng = np.random.default_rng(spec.seed)
+    substrate, trace, costs = _materialise(spec, rng)
+    results: dict[str, RunResult] = {}
+    for policy_spec in spec.policies:
+        policy = policy_spec.build()
+        run = simulate(
+            substrate,
+            policy,
+            trace,
+            costs,
+            routing=spec.routing_strategy,
+            seed=rng,
+        )
+        results[_series_label(policy_spec, policy, results)] = run
+    return ExperimentResult(spec=spec, results=results)
+
+
+class SpecReplicate:
+    """The picklable replicate callable behind :func:`run_sweep`.
+
+    Holds only the :class:`SweepSpec` (plain data), so a process-pool backend
+    can ship it to workers on any start method; names re-resolve through the
+    registries inside the worker.
+    """
+
+    def __init__(self, sweep: SweepSpec) -> None:
+        self.sweep = sweep
+
+    def __call__(self, x, rng: np.random.Generator) -> "dict[str, float]":
+        return run_replicate(self.sweep.experiment_at(x), rng)
+
+    def __repr__(self) -> str:
+        return f"SpecReplicate({self.sweep.figure!r})"
+
+
+def run_sweep(
+    spec: SweepSpec, backend: "ExecutionBackend | None" = None
+) -> "FigureResult":
+    """Run the sweep described by ``spec`` and aggregate a figure result.
+
+    Args:
+        spec: the declarative sweep.
+        backend: where replicates execute; ``None`` = serial. Serial and
+            parallel backends return identical results for the same spec.
+    """
+    from repro.experiments.runner import sweep_experiment
+
+    return sweep_experiment(
+        figure=spec.figure,
+        title=spec.resolved_title(),
+        x_label=spec.resolved_x_label(),
+        x_values=spec.values,
+        replicate=SpecReplicate(spec),
+        runs=spec.runs,
+        seed=spec.seed,
+        notes=spec.notes,
+        backend=backend,
+    )

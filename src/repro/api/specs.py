@@ -1,0 +1,530 @@
+"""Declarative experiment descriptions: a run as plain, JSON-safe data.
+
+A spec describes *what* to run — which topology, which demand scenario,
+which policies, which cost constants — without any code. Specs are frozen
+dataclasses that
+
+* resolve their ``kind`` names through the :mod:`repro.api.registry`
+  registries when built,
+* round-trip losslessly through plain dicts (``to_dict`` / ``from_dict``)
+  whose contents are JSON-safe (numbers, strings, bools, lists), and
+* are picklable, so a parallel backend can ship them to worker processes.
+
+The composition is::
+
+    ExperimentSpec            one replicate: topology + scenario + policies
+      ├─ TopologySpec           e.g. ("erdos_renyi", {"n": 200})
+      ├─ ScenarioSpec           e.g. ("commuter", {"sojourn": 10})
+      ├─ PolicySpec ×k          e.g. ("onth", {}, label="ONTH")
+      └─ CostSpec               β, c, Ra, Ri, load model
+    SweepSpec                 a parameter swept over an ExperimentSpec
+
+Execution lives in :mod:`repro.api.experiment`
+(:func:`~repro.api.experiment.run_experiment`,
+:func:`~repro.api.experiment.run_sweep`).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.api.registry import resolve_policy, resolve_scenario, resolve_topology
+from repro.core.costs import CostModel
+from repro.core.load import LinearLoad, LoadFunction, PowerLoad, QuadraticLoad
+from repro.core.routing import RoutingStrategy
+
+__all__ = [
+    "TopologySpec",
+    "ScenarioSpec",
+    "PolicySpec",
+    "CostSpec",
+    "ExperimentSpec",
+    "SweepSpec",
+    "parse_component",
+    "parse_value",
+]
+
+#: Load-model names accepted by :class:`CostSpec`.
+_LOAD_MODELS = ("linear", "quadratic", "power")
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert ``value`` to JSON-safe plain data (tuples become lists)."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"spec parameter {value!r} of type {type(value).__name__} is not JSON-safe"
+    )
+
+
+def _frozen(value: Any) -> Any:
+    """Normalise param values at construction: sequences become tuples.
+
+    Applying the same normalisation in ``__post_init__`` and ``from_dict``
+    makes dict/JSON round-trips compare equal to the original spec.
+    """
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_frozen(v) for v in value)
+    if isinstance(value, Mapping):
+        return {str(k): _frozen(v) for k, v in value.items()}
+    return value
+
+
+def _check_keys(data: Mapping, allowed: "set[str]", what: str) -> None:
+    """Reject unknown keys in a spec dict: typos must not silently fall back
+    to defaults (see :meth:`CostSpec.from_dict`)."""
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {what} keys {unknown}; expected a subset of "
+            f"{sorted(allowed)}"
+        )
+
+
+def _accepts(factory: Any, name: str) -> bool:
+    """Does ``factory`` take a ``name`` keyword (directly or via **kwargs)?"""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class _ComponentSpec:
+    """Shared shape of the name + params specs."""
+
+    kind: str
+    params: "dict[str, Any]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not str(self.kind).strip():
+            raise ValueError(f"{type(self).__name__}.kind must be non-empty")
+        object.__setattr__(
+            self, "params", {str(k): _frozen(v) for k, v in dict(self.params).items()}
+        )
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict form."""
+        return {"kind": self.kind, "params": _jsonable(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "_ComponentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        _check_keys(data, {"kind", "params"}, cls.__name__)
+        return cls(kind=data["kind"], params=dict(data.get("params") or {}))
+
+    def with_params(self, **updates: Any) -> "_ComponentSpec":
+        """Copy with ``updates`` merged into :attr:`params`."""
+        return replace(self, params={**self.params, **updates})
+
+
+@dataclass(frozen=True)
+class TopologySpec(_ComponentSpec):
+    """A substrate described by a registered topology factory + parameters."""
+
+    def build(self, rng: "np.random.Generator | None" = None):
+        """Instantiate the substrate; ``rng`` seeds the factory if accepted."""
+        factory = resolve_topology(self.kind)
+        kwargs = dict(self.params)
+        if rng is not None and "seed" not in kwargs and _accepts(factory, "seed"):
+            kwargs["seed"] = rng
+        return factory(**kwargs)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec(_ComponentSpec):
+    """A demand scenario; built against a concrete substrate."""
+
+    def build(self, substrate):
+        """Instantiate the scenario's request generator on ``substrate``."""
+        factory = resolve_scenario(self.kind)
+        return factory(substrate, **self.params)
+
+
+@dataclass(frozen=True)
+class PolicySpec(_ComponentSpec):
+    """An allocation policy plus an optional display label for result series."""
+
+    label: "str | None" = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.label is not None:
+            # CLI value parsing may deliver ints/bools (label=5); series
+            # names are strings, so coerce rather than crash downstream.
+            label = str(self.label).strip()
+            if not label:
+                raise ValueError("PolicySpec.label must be non-empty when set")
+            object.__setattr__(self, "label", label)
+
+    def build(self):
+        """Instantiate the policy."""
+        factory = resolve_policy(self.kind)
+        return factory(**self.params)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PolicySpec":
+        _check_keys(data, {"kind", "params", "label"}, "PolicySpec")
+        return cls(
+            kind=data["kind"],
+            params=dict(data.get("params") or {}),
+            label=data.get("label"),
+        )
+
+
+@dataclass(frozen=True)
+class CostSpec:
+    """The cost constants of §II as data; builds a :class:`CostModel`.
+
+    ``load`` selects the server-load model by name (``linear``, ``quadratic``
+    or ``power`` with ``load_exponent``). The distance-dependent
+    ``migration_matrix`` extension is substrate-shaped and therefore not
+    representable in a spec; construct a :class:`CostModel` directly for it.
+    """
+
+    migration: float = 40.0
+    creation: float = 400.0
+    run_active: float = 2.5
+    run_inactive: float = 0.5
+    wireless_hop: float = 0.0
+    load: str = "linear"
+    load_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.load not in _LOAD_MODELS:
+            raise ValueError(
+                f"unknown load model {self.load!r}; expected one of {_LOAD_MODELS}"
+            )
+        self.to_cost_model()  # surface bad constants at spec-build time
+
+    @classmethod
+    def paper_default(cls, **overrides: Any) -> "CostSpec":
+        """β = 40 < c = 400, the paper's main regime."""
+        return cls(migration=40.0, creation=400.0, **overrides)
+
+    @classmethod
+    def migration_expensive(cls, **overrides: Any) -> "CostSpec":
+        """β = 400 > c = 40 (Figures 6, 14, 16-19)."""
+        return cls(migration=400.0, creation=40.0, **overrides)
+
+    def load_function(self) -> LoadFunction:
+        """The load model instance selected by :attr:`load`."""
+        if self.load == "linear":
+            return LinearLoad()
+        if self.load == "quadratic":
+            return QuadraticLoad()
+        return PowerLoad(self.load_exponent)
+
+    def to_cost_model(self) -> CostModel:
+        """The equivalent :class:`CostModel`."""
+        return CostModel(
+            migration=self.migration,
+            creation=self.creation,
+            run_active=self.run_active,
+            run_inactive=self.run_inactive,
+            load=self.load_function(),
+            wireless_hop=self.wireless_hop,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict form."""
+        return {f.name: _jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CostSpec":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys raise: a typo'd constant in a hand-edited or cached
+        spec must not silently fall back to its default (and thereby run
+        the wrong cost regime).
+        """
+        _check_keys(data, {f.name for f in fields(cls)}, "CostSpec")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete replicate description: who runs on what, for how long."""
+
+    topology: TopologySpec
+    scenario: ScenarioSpec
+    policies: "tuple[PolicySpec, ...]"
+    costs: CostSpec = field(default_factory=CostSpec)
+    horizon: int = 500
+    routing: str = "nearest"
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policies", tuple(self.policies))
+        if not self.policies:
+            raise ValueError("ExperimentSpec needs at least one policy")
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+        object.__setattr__(
+            self, "routing", str(self.routing).strip().lower().replace("-", "_")
+        )
+        valid = {strategy.value for strategy in RoutingStrategy}
+        if self.routing not in valid:
+            raise ValueError(
+                f"unknown routing {self.routing!r}; expected one of {sorted(valid)}"
+            )
+        # Only *explicit* labels can be checked statically; same-kind policies
+        # with different parameters are legitimate (their built ``.name``s may
+        # differ, e.g. onbr vs onbr:dynamic_threshold=true) and real runtime
+        # collisions are caught by repro.api.experiment._series_label.
+        labels = [p.label for p in self.policies if p.label]
+        duplicates = {label for label in labels if labels.count(label) > 1}
+        if duplicates:
+            raise ValueError(
+                f"policy labels must be unique, duplicated: {sorted(duplicates)}"
+            )
+
+    @property
+    def routing_strategy(self) -> RoutingStrategy:
+        """The :class:`RoutingStrategy` member selected by :attr:`routing`."""
+        return RoutingStrategy(self.routing)
+
+    # -- parameter substitution ---------------------------------------------------
+
+    def with_param(self, path: str, value: Any) -> "ExperimentSpec":
+        """Copy with one parameter replaced.
+
+        ``path`` is either a top-level field (``"horizon"``, ``"seed"``,
+        ``"name"``, ``"routing"``) or a dotted component parameter:
+        ``"topology.n"``, ``"scenario.sojourn"``, ``"costs.migration"``, or
+        ``"policies.cache_size"`` (applied to every policy).
+        """
+        head, dot, rest = path.partition(".")
+        if not dot:
+            if head in ("horizon", "seed", "name", "routing"):
+                return replace(self, **{head: value})
+            raise ValueError(
+                f"cannot substitute {path!r}; top-level parameters are "
+                "horizon/seed/name/routing, nested ones use 'component.param'"
+            )
+        if not rest:
+            raise ValueError(f"empty parameter name in {path!r}")
+        if head == "topology":
+            return replace(self, topology=self.topology.with_params(**{rest: value}))
+        if head == "scenario":
+            return replace(self, scenario=self.scenario.with_params(**{rest: value}))
+        if head == "costs":
+            return replace(self, costs=replace(self.costs, **{rest: value}))
+        if head == "policies":
+            return replace(
+                self,
+                policies=tuple(p.with_params(**{rest: value}) for p in self.policies),
+            )
+        raise ValueError(
+            f"unknown component {head!r} in {path!r}; expected "
+            "topology/scenario/costs/policies"
+        )
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict form (nested component dicts)."""
+        return {
+            "name": self.name,
+            "topology": self.topology.to_dict(),
+            "scenario": self.scenario.to_dict(),
+            "policies": [p.to_dict() for p in self.policies],
+            "costs": self.costs.to_dict(),
+            "horizon": self.horizon,
+            "routing": self.routing,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        _check_keys(
+            data,
+            {"name", "topology", "scenario", "policies", "costs", "horizon",
+             "routing", "seed"},
+            "ExperimentSpec",
+        )
+        return cls(
+            topology=TopologySpec.from_dict(data["topology"]),
+            scenario=ScenarioSpec.from_dict(data["scenario"]),
+            policies=tuple(
+                PolicySpec.from_dict(p) for p in data.get("policies", ())
+            ),
+            costs=CostSpec.from_dict(data.get("costs") or {}),
+            horizon=data.get("horizon", 500),
+            routing=data.get("routing", "nearest"),
+            seed=data.get("seed", 0),
+            name=data.get("name", ""),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parameter sweep over an :class:`ExperimentSpec` template.
+
+    ``parameter`` is a :meth:`ExperimentSpec.with_param` path substituted
+    with each of ``values``; ``None`` runs the template unchanged once per
+    value (useful for single-point "table" results).
+    """
+
+    experiment: ExperimentSpec
+    parameter: "str | None" = None
+    values: tuple = ("total cost",)
+    runs: int = 5
+    seed: int = 0
+    figure: str = "sweep"
+    title: str = ""
+    x_label: str = ""
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(_frozen(v) for v in self.values))
+        if not self.values:
+            raise ValueError("SweepSpec needs at least one value")
+        if self.runs < 1:
+            raise ValueError(f"runs must be >= 1, got {self.runs}")
+        if self.parameter in ("seed", "name"):
+            # Replicate randomness derives from SweepSpec.seed via
+            # SeedSequence children, not ExperimentSpec.seed — substituting
+            # either field would be a silent no-op on the results.
+            raise ValueError(
+                f"parameter {self.parameter!r} cannot be swept: per-replicate "
+                "seeding is controlled by SweepSpec.seed"
+            )
+        if self.parameter is not None:
+            # Surface bad paths at spec-build time, not mid-sweep.
+            self.experiment.with_param(self.parameter, self.values[0])
+
+    def experiment_at(self, x: Any) -> ExperimentSpec:
+        """The concrete replicate spec for sweep-point value ``x``."""
+        if self.parameter is None:
+            return self.experiment
+        return self.experiment.with_param(self.parameter, x)
+
+    def resolved_x_label(self) -> str:
+        """The x-axis label: explicit, else the swept parameter, else 'metric'."""
+        return self.x_label or (self.parameter or "metric")
+
+    def resolved_title(self) -> str:
+        """The title: explicit, else derived from the components swept."""
+        if self.title:
+            return self.title
+        subject = self.experiment.name or (
+            f"{'/'.join(p.label or p.kind for p in self.experiment.policies)} on "
+            f"{self.experiment.scenario.kind}@{self.experiment.topology.kind}"
+        )
+        if self.parameter is None:
+            return subject
+        return f"{subject} vs {self.parameter}"
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict form."""
+        return {
+            "experiment": self.experiment.to_dict(),
+            "parameter": self.parameter,
+            "values": _jsonable(self.values),
+            "runs": self.runs,
+            "seed": self.seed,
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        _check_keys(
+            data,
+            {"experiment", "parameter", "values", "runs", "seed", "figure",
+             "title", "x_label", "notes"},
+            "SweepSpec",
+        )
+        return cls(
+            experiment=ExperimentSpec.from_dict(data["experiment"]),
+            parameter=data.get("parameter"),
+            values=tuple(data.get("values") or ("total cost",)),
+            runs=data.get("runs", 5),
+            seed=data.get("seed", 0),
+            figure=data.get("figure", "sweep"),
+            title=data.get("title", ""),
+            x_label=data.get("x_label", ""),
+            notes=data.get("notes", ""),
+        )
+
+
+def parse_value(text: str) -> Any:
+    """Best-effort scalar parsing for CLI arguments: bool/None/int/float/str."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text.strip()
+
+
+def parse_component(text: str) -> "tuple[str, dict[str, Any]]":
+    """Parse a CLI component argument ``kind[:key=value,key=value,...]``.
+
+    Examples::
+
+        parse_component("erdos_renyi:n=200,p=0.02")
+        parse_component("commuter:sojourn=10,dynamic_load=false")
+        parse_component("onth")
+    """
+    kind, _, tail = text.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise ValueError(f"component argument {text!r} has an empty kind")
+    params: dict[str, Any] = {}
+    if tail.strip():
+        for item in tail.split(","):
+            key, eq, raw = item.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(
+                    f"malformed parameter {item!r} in {text!r}; expected key=value"
+                )
+            params[key] = parse_value(raw)
+    return kind, params

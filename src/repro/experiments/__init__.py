@@ -4,6 +4,12 @@
 paper's §V; ``repro.experiments.ablations`` holds the extra design-choice
 studies; :func:`sweep_experiment` is the multi-run engine and
 :func:`format_figure` the plain-text renderer used by the benchmarks.
+
+Every figure/ablation registers itself in :data:`repro.api.FIGURES` via
+``@register_figure`` (together with its quick-scale parameters), and the
+sweep-based ones accept a ``backend=`` argument to parallelise replicates;
+see :mod:`repro.api` for the declarative spec layer and the CLI's generic
+``run`` subcommand.
 """
 
 from repro.experiments import ablations, figures

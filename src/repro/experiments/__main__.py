@@ -1,73 +1,100 @@
-"""Command-line figure regeneration: ``python -m repro.experiments <figure>``.
+"""Command-line experiment runner: ``python -m repro.experiments``.
 
-Examples::
+Two modes:
 
-    python -m repro.experiments fig03            # quick-scale reproduction
-    python -m repro.experiments fig15 --paper    # exact caption parameters
-    python -m repro.experiments rocketfuel
-    python -m repro.experiments --list
+* **figure regeneration** — rerun a registered reproduction by id::
+
+      python -m repro.experiments fig03            # quick-scale reproduction
+      python -m repro.experiments fig15 --paper    # exact caption parameters
+      python -m repro.experiments fig03 --workers 4 --runs 10
+      python -m repro.experiments rocketfuel --json
+      python -m repro.experiments --list
+
+* **declarative runs** — compose any registered policy/scenario/topology
+  triple without writing code::
+
+      python -m repro.experiments run --policy onth --scenario commuter \\
+          --topology erdos_renyi:n=200 --horizon 200
+      python -m repro.experiments run --policy onth --policy onbr \\
+          --topology erdos_renyi:n=100 --sweep scenario.sojourn=5,10,20 \\
+          --runs 5 --workers 4 --json
 
 Quick scale shrinks network sizes, horizons and run counts to keep any
 single figure under roughly a minute while preserving its qualitative
-shape; ``--paper`` uses the caption parameters recorded in
-:mod:`repro.experiments.figures`.
+shape; ``--paper`` uses the caption parameters registered next to each
+figure function. ``--workers N`` fans sweep replicates out over N processes
+(results are bit-identical to the serial run), ``--runs`` overrides the
+replicate count at any scale and ``--json`` emits the machine-readable
+result including the resolved spec.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 import time
 
-from repro.experiments import ablations, figures
+import numpy as np
+
+from repro.api.execution import ProcessPoolBackend
+from repro.api.registry import (
+    FIGURES,
+    UnknownNameError,
+    list_policies,
+    list_scenarios,
+    list_topologies,
+    normalize_name,
+)
+from repro.api.specs import (
+    CostSpec,
+    ExperimentSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+    parse_component,
+    parse_value,
+)
 from repro.experiments.reporting import format_figure
 
-#: figure id -> (callable, quick-scale overrides)
-_REGISTRY: dict = {
-    "fig01": (figures.figure01, dict(n=300, period=10, sojourn=10, horizon=400,
-                                     sample_every=10)),
-    "fig02": (figures.figure02, dict(n=200, period=10, sojourn=10, horizon=400,
-                                     sample_every=10)),
-    "fig03": (figures.figure03, dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)),
-    "fig04": (figures.figure04, dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)),
-    "fig05": (figures.figure05, dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)),
-    "fig06": (figures.figure06, dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)),
-    "fig07": (figures.figure07, dict(periods=(4, 8, 12), n=300, horizon=300,
-                                     sojourn=10, runs=3)),
-    "fig08": (figures.figure08, dict(lambdas=(1, 5, 20, 50), n=100, period=8,
-                                     horizon=400, runs=3)),
-    "fig09": (figures.figure09, dict(lambdas=(1, 5, 20, 50), n=100, period=8,
-                                     horizon=400, runs=3)),
-    "fig10": (figures.figure10, dict(lambdas=(1, 5, 20, 50), n=100, period=8,
-                                     horizon=400, runs=3)),
-    "fig11": (figures.figure11, dict(lambdas=(1, 5, 20, 50, 100, 200), runs=5)),
-    "fig12": (figures.figure12, dict(n=100, horizon=300, max_servers=10)),
-    "fig13": (figures.figure13, dict(runs=5)),
-    "fig14": (figures.figure14, dict(runs=5)),
-    "fig15": (figures.figure15, dict(runs=5)),
-    "fig16": (figures.figure16, dict(runs=5)),
-    "fig17": (figures.figure17, dict(runs=5)),
-    "fig18": (figures.figure18, dict(runs=5)),
-    "fig19": (figures.figure19, dict(runs=5)),
-    "rocketfuel": (figures.rocketfuel_table, dict(horizon=400, runs=2)),
-    "abl-routing": (ablations.ablation_routing, dict(sizes=(50, 100), horizon=200,
-                                                     runs=3)),
-    "abl-cache": (ablations.ablation_cache_size, dict(cache_sizes=(1, 3, 8), n=100,
-                                                      horizon=300, runs=3)),
-    "abl-threshold": (ablations.ablation_threshold, dict(factors=(0.5, 2.0, 8.0),
-                                                         n=100, horizon=300, runs=3)),
-    "abl-migration": (ablations.ablation_migration_model, dict(runs=3)),
-    "abl-mobility": (ablations.ablation_mobility_correlation,
-                     dict(correlations=(0.0, 0.5, 1.0), n=60, horizon=250, runs=3)),
-    "abl-beta": (ablations.ablation_beta_over_c,
-                 dict(ratios=(0.1, 0.5, 1.0, 10.0), n=60, horizon=250, runs=3)),
-}
+#: figure id -> (callable, quick-scale overrides); materialised from the
+#: figure registry so the inventory lives next to the figure functions.
+#: Kept as a plain module-level dict (a one-time snapshot) so callers can
+#: inspect or monkeypatch the CLI's inventory independently of the live
+#: registry; figures registered after this module imports are reachable
+#: through repro.api.FIGURES but not through the CLI.
+_REGISTRY: dict = {name: entry for name, entry in FIGURES.items()}
+
+
+def _backend_for(workers: "int | None"):
+    """The execution backend selected by ``--workers`` (None or 1 = serial)."""
+    if workers is None or workers == 1:
+        return None
+    return ProcessPoolBackend(workers)
+
+
+def _worker_count(text: str) -> int:
+    """argparse type for ``--workers``: a positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate a figure/table of the paper's evaluation.",
+        epilog=(
+            "There is also a declarative subcommand composing any registered "
+            "policy/scenario/topology triple: "
+            "'python -m repro.experiments run --help'."
+        ),
     )
     parser.add_argument(
         "figure",
@@ -83,6 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the master seed"
     )
     parser.add_argument(
+        "--runs", type=int, default=None,
+        help="override the replicate count per sweep point",
+    )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=None,
+        help="run sweep replicates on N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as machine-readable JSON",
+    )
+    parser.add_argument(
         "--plot",
         action="store_true",
         help="also render the series as an ASCII chart",
@@ -93,7 +133,80 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments run",
+        description=(
+            "Run any registered policy/scenario/topology combination from a "
+            "declarative spec. Component arguments take the form "
+            "kind[:key=value,...], e.g. erdos_renyi:n=200,p=0.02."
+        ),
+    )
+    parser.add_argument(
+        "--policy", action="append", required=True, metavar="KIND[:PARAMS]",
+        help=(
+            "policy to run (repeatable); the reserved param 'label' names "
+            f"the result series; known: {', '.join(list_policies())}"
+        ),
+    )
+    parser.add_argument(
+        "--scenario", default="commuter", metavar="KIND[:PARAMS]",
+        help=f"demand scenario; known: {', '.join(list_scenarios())}",
+    )
+    parser.add_argument(
+        "--topology", default="erdos_renyi:n=100", metavar="KIND[:PARAMS]",
+        help=f"substrate topology; known: {', '.join(list_topologies())}",
+    )
+    parser.add_argument("--horizon", type=int, default=500, help="rounds to simulate")
+    parser.add_argument(
+        "--routing", default="nearest", choices=("nearest", "load-aware", "load_aware"),
+        help="request routing strategy",
+    )
+    parser.add_argument("--beta", type=float, default=40.0, help="migration cost β")
+    parser.add_argument("--creation", type=float, default=400.0, help="creation cost c")
+    parser.add_argument(
+        "--run-active", type=float, default=2.5, help="per-round active running cost"
+    )
+    parser.add_argument(
+        "--run-inactive", type=float, default=0.5,
+        help="per-round inactive running cost",
+    )
+    parser.add_argument(
+        "--load", default="linear", choices=("linear", "quadratic", "power"),
+        help="server load model",
+    )
+    parser.add_argument(
+        "--load-exponent", type=float, default=1.0,
+        help="exponent for --load power",
+    )
+    parser.add_argument(
+        "--sweep", default=None, metavar="PARAM=V1,V2,...",
+        help=(
+            "sweep a spec parameter, e.g. scenario.sojourn=5,10,20 or "
+            "topology.n=100,200 (default: single point)"
+        ),
+    )
+    parser.add_argument("--runs", type=int, default=3, help="replicates per point")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--workers", type=_worker_count, default=None,
+        help="run replicates on N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the result (with the resolved spec) as JSON",
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="also render an ASCII chart"
+    )
+    return parser
+
+
 def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return run_command(argv[1:])
+
     args = build_parser().parse_args(argv)
 
     if args.list or not args.figure:
@@ -102,26 +215,72 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"{name:<14} {doc}")
         return 0
 
-    key = args.figure.lower()
-    if key == "all":
+    if args.figure.lower() == "all":
         return _run_all(args)
-    if key not in _REGISTRY:
-        print(f"unknown figure {args.figure!r}; use --list", file=sys.stderr)
+    try:
+        key = _lookup_figure(args.figure)
+    except UnknownNameError as error:
+        print(f"{error}; use --list", file=sys.stderr)
         return 2
 
     _run_one(key, args)
     return 0
 
 
-def _run_one(key: str, args) -> None:
+def _lookup_figure(name: str) -> str:
+    """Resolve ``name`` to a ``_REGISTRY`` key with the registry's leniency.
+
+    Matches case-insensitively with ``-``/``_`` interchangeable, and raises
+    :class:`UnknownNameError` (typo suggestions included) otherwise.
+    """
+    normalized = normalize_name(name)
+    for key in _REGISTRY:
+        if normalize_name(key) == normalized:
+            return key
+    # Aliases are not enumerated by the snapshot; resolve through the live
+    # registry and map the entry back to its primary key.
+    try:
+        entry = FIGURES.resolve(name)
+    except UnknownNameError:
+        raise UnknownNameError("figure", name, tuple(sorted(_REGISTRY))) from None
+    for key, value in _REGISTRY.items():
+        if value is entry:
+            return key
+    raise UnknownNameError("figure", name, tuple(sorted(_REGISTRY)))
+
+
+def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
+    """Run one figure; returns the JSON payload when ``--json`` is active."""
     fn, quick = _REGISTRY[key]
     kwargs = {} if args.paper else dict(quick)
-    if args.seed is not None:
-        kwargs["seed"] = args.seed
+    accepted = set(inspect.signature(fn).parameters)
+    for flag, option, value in (
+        ("seed", "seed", args.seed),
+        ("runs", "runs", args.runs),
+        ("backend", "workers", _backend_for(args.workers)),
+    ):
+        if value is None:
+            continue
+        if flag in accepted:
+            kwargs[flag] = value
+        else:
+            print(f"note: {key} does not take --{option}; ignored",
+                  file=sys.stderr)
 
     started = time.perf_counter()
     result = fn(**kwargs)
     elapsed = time.perf_counter() - started
+    if args.json:
+        if args.plot:
+            print("note: --plot is ignored with --json", file=sys.stderr)
+        payload = result.to_dict()
+        payload["params"] = {
+            k: v for k, v in kwargs.items() if k != "backend"
+        }
+        payload["elapsed_seconds"] = round(elapsed, 3)
+        if emit_json:
+            print(json.dumps(payload, indent=2))
+        return payload
     print(format_figure(result))
     if args.plot:
         from repro.experiments.plotting import render_figure_chart
@@ -129,17 +288,135 @@ def _run_one(key: str, args) -> None:
         print()
         print(render_figure_chart(result))
     print(f"  ({elapsed:.1f}s, {'paper' if args.paper else 'quick'} scale)")
+    return None
 
 
 def _run_all(args) -> int:
-    """Regenerate every registered figure in sequence (`all`)."""
+    """Regenerate every registered figure in sequence (`all`).
+
+    With ``--json`` the output is one JSON array (stdout stays a single
+    machine-readable document; the summary line goes to stderr).
+    """
     started = time.perf_counter()
+    payloads = []
     for i, key in enumerate(sorted(_REGISTRY)):
-        if i:
+        if i and not args.json:
             print()
-        _run_one(key, args)
+        payloads.append(_run_one(key, args, emit_json=False))
     total = time.perf_counter() - started
-    print(f"\nregenerated {len(_REGISTRY)} experiments in {total:.0f}s")
+    if args.json:
+        print(json.dumps(payloads, indent=2))
+        print(f"regenerated {len(_REGISTRY)} experiments in {total:.0f}s",
+              file=sys.stderr)
+    else:
+        print(f"\nregenerated {len(_REGISTRY)} experiments in {total:.0f}s")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# The declarative `run` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _parse_sweep(text: str) -> "tuple[str, tuple]":
+    """Parse ``--sweep param=v1,v2,...`` into (parameter path, values)."""
+    param, eq, tail = text.partition("=")
+    param = param.strip()
+    values = tuple(
+        parse_value(item) for item in tail.split(",") if item.strip()
+    )
+    if not eq or not param or not values:
+        raise ValueError(
+            f"malformed --sweep {text!r}; expected param=v1,v2,... "
+            "(e.g. scenario.sojourn=5,10,20)"
+        )
+    return param, values
+
+
+def spec_from_args(args) -> SweepSpec:
+    """Build the :class:`SweepSpec` described by ``run`` subcommand flags."""
+    policies = []
+    for item in args.policy:
+        kind, params = parse_component(item)
+        # "label" is reserved for the series name, so same-name variants can
+        # be disambiguated from the CLI: --policy onth:cache_size=5,label=ONTH-5
+        label = params.pop("label", None)
+        policies.append(PolicySpec(kind, params, label=label))
+    topo_kind, topo_params = parse_component(args.topology)
+    scen_kind, scen_params = parse_component(args.scenario)
+    experiment = ExperimentSpec(
+        topology=TopologySpec(topo_kind, topo_params),
+        scenario=ScenarioSpec(scen_kind, scen_params),
+        policies=tuple(policies),
+        costs=CostSpec(
+            migration=args.beta,
+            creation=args.creation,
+            run_active=args.run_active,
+            run_inactive=args.run_inactive,
+            load=args.load,
+            load_exponent=args.load_exponent,
+        ),
+        horizon=args.horizon,
+        routing=args.routing,
+        seed=args.seed,
+    )
+    parameter, values = (None, ("total cost",))
+    if args.sweep:
+        parameter, values = _parse_sweep(args.sweep)
+    return SweepSpec(
+        experiment=experiment,
+        parameter=parameter,
+        values=values,
+        runs=args.runs,
+        seed=args.seed,
+        figure="run",
+    )
+
+
+def run_command(argv: "list[str]") -> int:
+    """Entry point of ``python -m repro.experiments run ...``."""
+    from repro.api.experiment import resolve_series_labels, run_sweep
+
+    args = build_run_parser().parse_args(argv)
+    try:
+        spec = spec_from_args(args)
+        # Build every sweep point's components up front (substrate, scenario,
+        # policies — everything but the simulation) so typos and bad values
+        # anywhere in --sweep fail fast with a one-line message instead of a
+        # traceback after earlier points already ran. The sweep itself runs
+        # outside this guard: a mid-simulation exception is a library bug
+        # and should surface with its full traceback.
+        substrate = None
+        topology_swept = (spec.parameter or "").startswith("topology.")
+        for value in spec.values:
+            probe = spec.experiment_at(value)
+            if substrate is None or topology_swept:
+                substrate = probe.topology.build(np.random.default_rng(spec.seed))
+            probe.scenario.build(substrate)
+            resolve_series_labels(probe)
+    except (UnknownNameError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    result = run_sweep(spec, backend=_backend_for(args.workers))
+    elapsed = time.perf_counter() - started
+
+    if args.json:
+        if args.plot:
+            print("note: --plot is ignored with --json", file=sys.stderr)
+        payload = result.to_dict()
+        payload["spec"] = spec.to_dict()
+        payload["elapsed_seconds"] = round(elapsed, 3)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(format_figure(result))
+    if args.plot:
+        from repro.experiments.plotting import render_figure_chart
+
+        print()
+        print(render_figure_chart(result))
+    print(f"  ({elapsed:.1f}s, backend={'serial' if not args.workers or args.workers <= 1 else f'{args.workers} workers'})")
     return 0
 
 

@@ -21,6 +21,7 @@ from repro.core.load import QuadraticLoad
 from repro.core.routing import RoutingStrategy
 from repro.core.simulator import simulate
 from repro.algorithms import OffStat, OnBR, OnTH
+from repro.api.registry import register_figure
 from repro.experiments.figures import DEFAULT_SEED, _commuter_trace, _timezone_trace
 from repro.experiments.runner import FigureResult, sweep_experiment
 from repro.topology.generators import erdos_renyi
@@ -38,12 +39,14 @@ __all__ = [
 ]
 
 
+@register_figure("abl-routing", quick=dict(sizes=(50, 100), horizon=200, runs=3))
 def ablation_routing(
     sizes=(50, 100, 200),
     horizon: int = 300,
     sojourn: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Nearest vs load-aware request routing under quadratic load.
 
@@ -70,9 +73,11 @@ def ablation_routing(
         "abl-routing", "routing strategy under quadratic load (ONTH)",
         "network size", sizes, replicate, runs=runs, seed=seed,
         notes="load-aware routing balances convex load at equal latency cost",
+        backend=backend,
     )
 
 
+@register_figure("abl-cache", quick=dict(cache_sizes=(1, 3, 8), n=100, horizon=300, runs=3))
 def ablation_cache_size(
     cache_sizes=(1, 2, 3, 5, 8),
     n: int = 200,
@@ -80,6 +85,7 @@ def ablation_cache_size(
     sojourn: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Effect of the inactive-server FIFO cache size (paper fixes 3)."""
     costs = CostModel.paper_default()
@@ -100,9 +106,11 @@ def ablation_cache_size(
         "abl-cache", "inactive cache size sweep (commuter dynamic)",
         "cache size", cache_sizes, replicate, runs=runs, seed=seed,
         notes="paper fixes size 3; diminishing returns expected beyond that",
+        backend=backend,
     )
 
 
+@register_figure("abl-threshold", quick=dict(factors=(0.5, 2.0, 8.0), n=100, horizon=300, runs=3))
 def ablation_threshold(
     factors=(0.5, 1.0, 2.0, 4.0, 8.0),
     n: int = 200,
@@ -110,6 +118,7 @@ def ablation_threshold(
     sojourn: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """ONBR's epoch threshold θ = factor·c (paper fixes factor 2)."""
     costs = CostModel.paper_default()
@@ -126,9 +135,11 @@ def ablation_threshold(
         "abl-threshold", "ONBR threshold factor sweep (θ = factor·c)",
         "θ/c", factors, replicate, runs=runs, seed=seed,
         notes="small θ reacts faster but pays more transitions",
+        backend=backend,
     )
 
 
+@register_figure("abl-migration", quick=dict(runs=3))
 def ablation_migration_model(
     horizon: int = 300,
     sojourn: int = 15,
@@ -136,6 +147,7 @@ def ablation_migration_model(
     requests_per_round: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Constant β vs bandwidth-derived per-pair migration costs.
 
@@ -172,9 +184,11 @@ def ablation_migration_model(
         "abl-migration", "constant vs bandwidth-derived migration cost (ONTH)",
         "metric", ["total cost"], replicate, runs=runs, seed=seed,
         notes="distance-dependent β changes which moves are worthwhile",
+        backend=backend,
     )
 
 
+@register_figure("abl-beta", quick=dict(ratios=(0.1, 0.5, 1.0, 10.0), n=60, horizon=250, runs=3))
 def ablation_beta_over_c(
     ratios=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 10.0),
     creation: float = 400.0,
@@ -183,6 +197,7 @@ def ablation_beta_over_c(
     sojourn: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Continuous sweep of the paper's β<c vs β>c dichotomy.
 
@@ -214,9 +229,11 @@ def ablation_beta_over_c(
         "abl-beta", "migration/creation cost ratio sweep (ONTH, time zones)",
         "β/c", ratios, replicate, runs=runs, seed=seed,
         notes="migrations must vanish for β/c > 1 (§II-C)",
+        backend=backend,
     )
 
 
+@register_figure("abl-mobility", quick=dict(correlations=(0.0, 0.5, 1.0), n=60, horizon=250, runs=3))
 def ablation_mobility_correlation(
     correlations=(0.0, 0.25, 0.5, 0.75, 1.0),
     n: int = 100,
@@ -224,6 +241,7 @@ def ablation_mobility_correlation(
     horizon: int = 400,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Benefit of adaptation vs crowd correlation in the mobility model.
 
@@ -252,4 +270,5 @@ def ablation_mobility_correlation(
         "abl-mobility", "mobility correlation sweep (ONTH vs static)",
         "correlation", correlations, replicate, runs=runs, seed=seed,
         notes="adaptivity should pay off more as the crowd moves coherently",
+        backend=backend,
     )

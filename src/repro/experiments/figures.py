@@ -42,6 +42,16 @@ import numpy as np
 
 from repro.algorithms import OffStat, OnBR, OnTH, Opt
 from repro.analysis.competitive import cost_ratio
+from repro.api.experiment import run_sweep
+from repro.api.registry import register_figure
+from repro.api.specs import (
+    CostSpec,
+    ExperimentSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+)
 from repro.core.costs import CostModel
 from repro.core.load import LinearLoad, QuadraticLoad
 from repro.core.simulator import simulate
@@ -76,6 +86,13 @@ _PERIODS = (2, 4, 6, 8, 10)
 #: c=400 the way Rocketfuel's millisecond latencies are in the AS-7018
 #: experiment (DESIGN.md §3).
 _LINE_LATENCIES = (5.0, 20.0)
+
+#: The three online contenders of Figures 3-10 as policy specs.
+_ONLINE_TRIO = (
+    PolicySpec("onth", label="ONTH"),
+    PolicySpec("onbr", label="ONBR-fixed"),
+    PolicySpec("onbr-dyn", label="ONBR-dyn"),
+)
 
 
 def _opt_line(n: int, rng: np.random.Generator) -> Substrate:
@@ -176,6 +193,10 @@ def _onth_trajectory(
     )
 
 
+@register_figure(
+    "fig01",
+    quick=dict(n=300, period=10, sojourn=10, horizon=400, sample_every=10),
+)
 def figure01(
     n: int = 1000,
     period: int = 14,
@@ -191,6 +212,10 @@ def figure01(
     )
 
 
+@register_figure(
+    "fig02",
+    quick=dict(n=200, period=10, sojourn=10, horizon=400, sample_every=10),
+)
 def figure02(
     n: int = 500,
     period: int = 12,
@@ -211,66 +236,90 @@ def figure02(
 # ---------------------------------------------------------------------------
 
 
-def _cost_vs_size(
+def _commuter_size_sweep(
     figure: str,
     title: str,
-    trace_builder,
+    dynamic: bool,
     sizes,
     horizon: int,
     sojourn: int,
     runs: int,
     seed: int,
-    costs: "CostModel | None" = None,
-) -> FigureResult:
-    costs = costs if costs is not None else CostModel.paper_default()
-
-    def replicate(n, rng):
-        substrate = erdos_renyi(int(n), seed=rng)
-        trace = trace_builder(substrate, horizon, sojourn, rng)
-        return _online_trio(substrate, trace, costs, rng)
-
-    return sweep_experiment(
-        figure, title, "network size", sizes, replicate, runs=runs, seed=seed,
+) -> SweepSpec:
+    """The declarative form of the Figure 3/4 size sweeps."""
+    return SweepSpec(
+        experiment=ExperimentSpec(
+            topology=TopologySpec("erdos_renyi"),
+            scenario=ScenarioSpec(
+                "commuter", {"sojourn": sojourn, "dynamic_load": dynamic}
+            ),
+            policies=_ONLINE_TRIO,
+            costs=CostSpec.paper_default(),
+            horizon=horizon,
+        ),
+        parameter="topology.n",
+        values=tuple(int(n) for n in sizes),
+        runs=runs,
+        seed=seed,
+        figure=figure,
+        title=title,
+        x_label="network size",
         notes="paper: ONTH below both ONBR variants; T grows with n",
     )
 
 
+@register_figure(
+    "fig03", quick=dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)
+)
 def figure03(
     sizes=_SIZES,
     horizon: int = 500,
     sojourn: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Algorithm cost vs network size, commuter scenario with dynamic load."""
-    return _cost_vs_size(
-        "fig03", "cost vs network size, commuter dynamic load",
-        lambda s, h, lam, rng: _commuter_trace(s, h, lam, True, rng),
-        sizes, horizon, sojourn, runs, seed,
+    return run_sweep(
+        _commuter_size_sweep(
+            "fig03", "cost vs network size, commuter dynamic load",
+            True, sizes, horizon, sojourn, runs, seed,
+        ),
+        backend=backend,
     )
 
 
+@register_figure(
+    "fig04", quick=dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)
+)
 def figure04(
     sizes=_SIZES,
     horizon: int = 500,
     sojourn: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Like Figure 3, but with static load."""
-    return _cost_vs_size(
-        "fig04", "cost vs network size, commuter static load",
-        lambda s, h, lam, rng: _commuter_trace(s, h, lam, False, rng),
-        sizes, horizon, sojourn, runs, seed,
+    return run_sweep(
+        _commuter_size_sweep(
+            "fig04", "cost vs network size, commuter static load",
+            False, sizes, horizon, sojourn, runs, seed,
+        ),
+        backend=backend,
     )
 
 
+@register_figure(
+    "fig05", quick=dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)
+)
 def figure05(
     sizes=_SIZES,
     horizon: int = 500,
     sojourn: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Like Figure 3, but for the time zone scenario.
 
@@ -278,22 +327,37 @@ def figure05(
     per ten nodes, at least ten) — constant per-user demand with more users
     on bigger networks, so the size sweep is apples-to-apples with the
     commuter variants whose volume also grows with ``n`` (DESIGN.md §3).
+    The size-coupled volume keeps this figure on a closure replicate rather
+    than a spec (a spec parameter cannot derive from the built substrate).
     """
-    return _cost_vs_size(
+    costs = CostModel.paper_default()
+
+    def replicate(n, rng):
+        substrate = erdos_renyi(int(n), seed=rng)
+        trace = _timezone_trace(
+            substrate, horizon, sojourn, rng,
+            requests_per_round=max(10, substrate.n // 10),
+        )
+        return _online_trio(substrate, trace, costs, rng)
+
+    return sweep_experiment(
         "fig05", "cost vs network size, time zone scenario",
-        lambda s, h, lam, rng: _timezone_trace(
-            s, h, lam, rng, requests_per_round=max(10, s.n // 10)
-        ),
-        sizes, horizon, sojourn, runs, seed,
+        "network size", sizes, replicate, runs=runs, seed=seed,
+        notes="paper: ONTH below both ONBR variants; T grows with n",
+        backend=backend,
     )
 
 
+@register_figure(
+    "fig06", quick=dict(sizes=(50, 100, 200, 400), horizon=300, runs=3)
+)
 def figure06(
     sizes=_SIZES,
     horizon: int = 500,
     sojourn: int = 10,
     runs: int = 5,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """ONBR cost breakdown vs network size in the β=400 > c=40 regime."""
     costs = CostModel.migration_expensive()
@@ -314,6 +378,7 @@ def figure06(
         "fig06", "ONBR cost components vs network size (β > c)",
         "network size", sizes, replicate, runs=runs, seed=seed,
         notes="paper: access cost dominates and grows with n",
+        backend=backend,
     )
 
 
@@ -322,6 +387,10 @@ def figure06(
 # ---------------------------------------------------------------------------
 
 
+@register_figure(
+    "fig07",
+    quick=dict(periods=(4, 8, 12), n=300, horizon=300, sojourn=10, runs=3),
+)
 def figure07(
     periods=(4, 6, 8, 10, 12, 14, 16),
     n: int = 1000,
@@ -329,48 +398,64 @@ def figure07(
     sojourn: int = 20,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Cost vs T in the commuter scenario with static load."""
-    costs = CostModel.paper_default()
-
-    def replicate(period, rng):
-        substrate = erdos_renyi(n, seed=rng)
-        trace = _commuter_trace(
-            substrate, horizon, sojourn, False, rng, period=int(period)
-        )
-        return _online_trio(substrate, trace, costs, rng)
-
-    return sweep_experiment(
-        "fig07", f"cost vs T, commuter static load (n={n})",
-        "T", periods, replicate, runs=runs, seed=seed,
+    spec = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=TopologySpec("erdos_renyi", {"n": n}),
+            scenario=ScenarioSpec(
+                "commuter", {"sojourn": sojourn, "dynamic_load": False}
+            ),
+            policies=_ONLINE_TRIO,
+            costs=CostSpec.paper_default(),
+            horizon=horizon,
+        ),
+        parameter="scenario.period",
+        values=tuple(int(p) for p in periods),
+        runs=runs,
+        seed=seed,
+        figure="fig07",
+        title=f"cost vs T, commuter static load (n={n})",
+        x_label="T",
         notes="paper: cost rises slightly with T; ONTH best throughout",
     )
+    return run_sweep(spec, backend=backend)
 
 
-def _cost_vs_lambda(
+def _lambda_sweep(
     figure: str,
     title: str,
-    trace_builder,
+    scenario: ScenarioSpec,
     lambdas,
     n: int,
-    period: int,
     horizon: int,
     runs: int,
     seed: int,
-) -> FigureResult:
-    costs = CostModel.paper_default()
-
-    def replicate(lam, rng):
-        substrate = erdos_renyi(n, seed=rng)
-        trace = trace_builder(substrate, horizon, int(lam), rng, period)
-        return _online_trio(substrate, trace, costs, rng)
-
-    return sweep_experiment(
-        figure, title, "λ", lambdas, replicate, runs=runs, seed=seed,
+) -> SweepSpec:
+    """Figures 8-10 as data: sweep the sojourn time λ of ``scenario``."""
+    return SweepSpec(
+        experiment=ExperimentSpec(
+            topology=TopologySpec("erdos_renyi", {"n": n}),
+            scenario=scenario,
+            policies=_ONLINE_TRIO,
+            costs=CostSpec.paper_default(),
+            horizon=horizon,
+        ),
+        parameter="scenario.sojourn",
+        values=tuple(int(lam) for lam in lambdas),
+        runs=runs,
+        seed=seed,
+        figure=figure,
+        title=title,
+        x_label="λ",
         notes="paper: total roughly independent of λ; ONTH ~2x better",
     )
 
 
+@register_figure(
+    "fig08", quick=dict(lambdas=(1, 5, 20, 50), n=100, period=8, horizon=400, runs=3)
+)
 def figure08(
     lambdas=_LAMBDAS,
     n: int = 200,
@@ -378,15 +463,20 @@ def figure08(
     horizon: int = 900,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with dynamic load."""
-    return _cost_vs_lambda(
+    spec = _lambda_sweep(
         "fig08", f"cost vs λ, commuter dynamic load (n={n}, T={period})",
-        lambda s, h, lam, rng, T: _commuter_trace(s, h, lam, True, rng, period=T),
-        lambdas, n, period, horizon, runs, seed,
+        ScenarioSpec("commuter", {"period": period, "dynamic_load": True}),
+        lambdas, n, horizon, runs, seed,
     )
+    return run_sweep(spec, backend=backend)
 
 
+@register_figure(
+    "fig09", quick=dict(lambdas=(1, 5, 20, 50), n=100, period=8, horizon=400, runs=3)
+)
 def figure09(
     lambdas=_LAMBDAS,
     n: int = 200,
@@ -394,15 +484,20 @@ def figure09(
     horizon: int = 900,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with static load."""
-    return _cost_vs_lambda(
+    spec = _lambda_sweep(
         "fig09", f"cost vs λ, commuter static load (n={n}, T={period})",
-        lambda s, h, lam, rng, T: _commuter_trace(s, h, lam, False, rng, period=T),
-        lambdas, n, period, horizon, runs, seed,
+        ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
+        lambdas, n, horizon, runs, seed,
     )
+    return run_sweep(spec, backend=backend)
 
 
+@register_figure(
+    "fig10", quick=dict(lambdas=(1, 5, 20, 50), n=100, period=8, horizon=400, runs=3)
+)
 def figure10(
     lambdas=_LAMBDAS,
     n: int = 200,
@@ -410,13 +505,15 @@ def figure10(
     horizon: int = 900,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Cost vs λ, time zone scenario with p = 50%."""
-    return _cost_vs_lambda(
+    spec = _lambda_sweep(
         "fig10", f"cost vs λ, time zones p=50% (n={n}, T={period})",
-        lambda s, h, lam, rng, T: _timezone_trace(s, h, lam, rng, period=T),
-        lambdas, n, period, horizon, runs, seed,
+        ScenarioSpec("timezones", {"period": period}),
+        lambdas, n, horizon, runs, seed,
     )
+    return run_sweep(spec, backend=backend)
 
 
 # ---------------------------------------------------------------------------
@@ -424,6 +521,7 @@ def figure10(
 # ---------------------------------------------------------------------------
 
 
+@register_figure("fig11", quick=dict(lambdas=(1, 5, 20, 50, 100, 200), runs=5))
 def figure11(
     lambdas=_OPT_LAMBDAS,
     n: int = 5,
@@ -431,6 +529,7 @@ def figure11(
     horizon: int = 200,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Competitive ratio of ONTH against OPT as a function of λ.
 
@@ -464,6 +563,7 @@ def figure11(
         "fig11", "ONTH/OPT competitive ratio vs λ (line graph)",
         "λ", lambdas, replicate, runs=runs, seed=seed,
         notes="paper: ratios fairly low; commuter static peaks at intermediate λ",
+        backend=backend,
     )
 
 
@@ -472,6 +572,7 @@ def figure11(
 # ---------------------------------------------------------------------------
 
 
+@register_figure("fig12", quick=dict(n=100, horizon=300, max_servers=10))
 def figure12(
     n: int = 100,
     horizon: int = 300,
@@ -528,6 +629,7 @@ def _absolute_vs_lambda(
     horizon: int,
     runs: int,
     seed: int,
+    backend=None,
 ) -> FigureResult:
     def replicate(lam, rng):
         substrate = _opt_line(n, rng)
@@ -540,9 +642,11 @@ def _absolute_vs_lambda(
     return sweep_experiment(
         figure, title, "λ", lambdas, replicate, runs=runs, seed=seed,
         notes="paper: absolute cost falls as dynamics slow (larger λ)",
+        backend=backend,
     )
 
 
+@register_figure("fig13", quick=dict(runs=5))
 def figure13(
     lambdas=_OPT_LAMBDAS,
     n: int = 5,
@@ -550,14 +654,17 @@ def figure13(
     horizon: int = 200,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Absolute OFFSTAT and OPT costs vs λ, commuter dynamic load, β < c."""
     return _absolute_vs_lambda(
         "fig13", "OFFSTAT vs OPT absolute cost (β=40 < c=400)",
         CostModel.paper_default(), lambdas, n, period, horizon, runs, seed,
+        backend=backend,
     )
 
 
+@register_figure("fig14", quick=dict(runs=5))
 def figure14(
     lambdas=_OPT_LAMBDAS,
     n: int = 5,
@@ -565,11 +672,13 @@ def figure14(
     horizon: int = 200,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """Like Figure 13 with β = 400 > c = 40."""
     return _absolute_vs_lambda(
         "fig14", "OFFSTAT vs OPT absolute cost (β=400 > c=40)",
         CostModel.migration_expensive(), lambdas, n, period, horizon, runs, seed,
+        backend=backend,
     )
 
 
@@ -584,6 +693,7 @@ def _ratio_sweep(
     runs: int,
     seed: int,
     notes: str,
+    backend=None,
 ) -> FigureResult:
     regimes = {
         "β<c": CostModel.paper_default(),
@@ -601,10 +711,11 @@ def _ratio_sweep(
 
     return sweep_experiment(
         figure, title, x_label, x_values, replicate, runs=runs, seed=seed,
-        notes=notes,
+        notes=notes, backend=backend,
     )
 
 
+@register_figure("fig15", quick=dict(runs=5))
 def figure15(
     lambdas=_OPT_LAMBDAS,
     n: int = 5,
@@ -612,6 +723,7 @@ def figure15(
     horizon: int = 200,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter dynamic load."""
     return _ratio_sweep(
@@ -619,9 +731,11 @@ def figure15(
         lambda s, h, lam, rng: _commuter_trace(s, h, int(lam), True, rng, period=period),
         n, horizon, runs, seed,
         "paper: benefit of flexibility peaks (≈2x) at moderate dynamics",
+        backend=backend,
     )
 
 
+@register_figure("fig16", quick=dict(runs=5))
 def figure16(
     lambdas=_OPT_LAMBDAS,
     n: int = 5,
@@ -629,6 +743,7 @@ def figure16(
     horizon: int = 200,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter static load."""
     return _ratio_sweep(
@@ -636,9 +751,11 @@ def figure16(
         lambda s, h, lam, rng: _commuter_trace(s, h, int(lam), False, rng, period=period),
         n, horizon, runs, seed,
         "paper: β<c ≈1.2 flat then →1; β>c up to ≈2 at intermediate λ",
+        backend=backend,
     )
 
 
+@register_figure("fig17", quick=dict(runs=5))
 def figure17(
     lambdas=_OPT_LAMBDAS,
     n: int = 5,
@@ -646,6 +763,7 @@ def figure17(
     horizon: int = 200,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, time zones with 3 requests/round."""
     return _ratio_sweep(
@@ -656,9 +774,11 @@ def figure17(
         n, horizon, runs, seed,
         "paper: ratio rises quickly for small λ then declines ~linearly; "
         "β<c similar to β>c",
+        backend=backend,
     )
 
 
+@register_figure("fig18", quick=dict(runs=5))
 def figure18(
     periods=_PERIODS,
     sojourn: int = 10,
@@ -666,6 +786,7 @@ def figure18(
     horizon: int = 200,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter dynamic load."""
     return _ratio_sweep(
@@ -673,9 +794,11 @@ def figure18(
         lambda s, h, T, rng: _commuter_trace(s, h, sojourn, True, rng, period=int(T)),
         n, horizon, runs, seed,
         "paper: ratio grows with T; β>c benefits more from flexibility",
+        backend=backend,
     )
 
 
+@register_figure("fig19", quick=dict(runs=5))
 def figure19(
     periods=_PERIODS,
     sojourn: int = 10,
@@ -683,6 +806,7 @@ def figure19(
     horizon: int = 200,
     runs: int = 10,
     seed: int = DEFAULT_SEED,
+    backend=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter static load."""
     return _ratio_sweep(
@@ -690,6 +814,7 @@ def figure19(
         lambda s, h, T, rng: _commuter_trace(s, h, sojourn, False, rng, period=int(T)),
         n, horizon, runs, seed,
         "paper: as Figure 18 but static load",
+        backend=backend,
     )
 
 
@@ -698,6 +823,7 @@ def figure19(
 # ---------------------------------------------------------------------------
 
 
+@register_figure("rocketfuel", quick=dict(horizon=400, runs=2))
 def rocketfuel_table(
     horizon: int = 600,
     sojourn: int = 20,
@@ -706,6 +832,7 @@ def rocketfuel_table(
     runs: int = 3,
     seed: int = DEFAULT_SEED,
     substrate: "Substrate | None" = None,
+    backend=None,
 ) -> FigureResult:
     """Total costs of OFFSTAT, ONTH and ONBR on the AT&T-like topology.
 
@@ -732,4 +859,5 @@ def rocketfuel_table(
         "tabR", "Rocketfuel AS-7018 (AT&T-like) totals, time zone scenario",
         "metric", ["total cost"], replicate, runs=runs, seed=seed,
         notes="paper: OFFSTAT 26063.8 < ONTH 44176.3 (<2x) < ONBR 111470.3",
+        backend=backend,
     )

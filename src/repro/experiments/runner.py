@@ -9,7 +9,10 @@ engine; a figure module only supplies the *replicate function* mapping
 Determinism: replicate ``j`` of sweep point ``i`` always receives the same
 child generator (derived from one master seed through
 ``numpy.random.SeedSequence`` spawning), so figure results are exactly
-reproducible and independent of how many other points are evaluated.
+reproducible and independent of how many other points are evaluated — and of
+the :class:`~repro.api.execution.ExecutionBackend` that runs them: the child
+seeds are spawned up front and travel with each task, so a process-pool
+sweep is bit-identical to the serial one.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.analysis.stats import mean_stderr
+from repro.api.execution import ExecutionBackend, ReplicateTask, SerialBackend
 
 __all__ = ["FigureResult", "sweep_experiment"]
 
@@ -69,6 +73,44 @@ class FigureResult:
         """All series names in insertion order."""
         return tuple(self.series.keys())
 
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict form (``--json`` and caching use this)."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": [_json_value(v) for v in self.x_values],
+            "series": {
+                name: [float(v) for v in values]
+                for name, values in self.series.items()
+            },
+            "errors": {
+                name: [float(v) for v in values]
+                for name, values in self.errors.items()
+            },
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FigureResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            figure=data["figure"],
+            title=data.get("title", ""),
+            x_label=data.get("x_label", ""),
+            x_values=tuple(data.get("x_values", ())),
+            series={k: tuple(v) for k, v in data.get("series", {}).items()},
+            errors={k: tuple(v) for k, v in data.get("errors", {}).items()},
+            notes=data.get("notes", ""),
+        )
+
+
+def _json_value(value):
+    """A JSON-safe scalar for a sweep-point value."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
 
 def sweep_experiment(
     figure: str,
@@ -79,6 +121,7 @@ def sweep_experiment(
     runs: int = 5,
     seed: int = 0,
     notes: str = "",
+    backend: "ExecutionBackend | None" = None,
 ) -> FigureResult:
     """Run ``replicate`` ``runs`` times per sweep point and average.
 
@@ -91,6 +134,9 @@ def sweep_experiment(
         runs: replicates per point (the paper uses 5 or 10).
         seed: master seed; see module docstring for the derivation scheme.
         notes: carried through to the result.
+        backend: where the replicates execute (``None`` = in-process serial).
+            The result is backend-independent: every task carries its
+            pre-spawned child seed.
 
     Returns:
         A :class:`FigureResult` with per-series means and standard errors.
@@ -99,20 +145,42 @@ def sweep_experiment(
         raise ValueError(f"runs must be >= 1, got {runs}")
     x_values = list(x_values)
     children = np.random.SeedSequence(seed).spawn(len(x_values) * runs)
+    tasks = [
+        ReplicateTask(x=x_values[index // runs], seed=children[index])
+        for index in range(len(x_values) * runs)
+    ]
+    if backend is None:
+        backend = SerialBackend()
+
+    # Validate every replicate against the very first one — a ragged key set
+    # within the first sweep point must fail too, not merge silently into
+    # misaligned series. Running the check as a result hook fails fast: a
+    # serial sweep aborts at the offending replicate instead of burning the
+    # rest of a long run first.
+    expected: "set[str] | None" = None
+
+    def check_series(index: int, task: ReplicateTask, sample) -> None:
+        nonlocal expected
+        keys = set(sample)
+        if expected is None:
+            expected = keys
+        elif keys != expected:
+            raise RuntimeError(
+                f"replicate at x={task.x!r} (run {index % runs}) returned "
+                f"series {sorted(keys)}, expected {sorted(expected)}"
+            )
+
+    samples = backend.run_replicates(replicate, tasks, on_result=check_series)
 
     collected: "dict[str, list[list[float]]]" = {}
     for i, x in enumerate(x_values):
         point_samples: dict[str, list[float]] = {}
         for j in range(runs):
-            rng = np.random.default_rng(children[i * runs + j])
-            sample = replicate(x, rng)
+            sample = samples[i * runs + j]
+            # Backstop for third-party backends that ignore on_result.
+            check_series(i * runs + j, tasks[i * runs + j], sample)
             for name, value in sample.items():
                 point_samples.setdefault(name, []).append(float(value))
-        if collected and set(point_samples) != set(collected):
-            raise RuntimeError(
-                f"replicate at x={x!r} returned series {sorted(point_samples)}, "
-                f"expected {sorted(collected)}"
-            )
         for name, values in point_samples.items():
             collected.setdefault(name, []).append(values)
 

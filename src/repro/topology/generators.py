@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_topology
 from repro.topology.substrate import T1_MBPS, T2_MBPS, Link, Substrate
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_positive, check_positive_int, check_probability
@@ -80,6 +81,7 @@ def _links_from_edges(
     ]
 
 
+@register_topology("erdos_renyi", aliases=("er",))
 def erdos_renyi(
     n: int,
     p: float = 0.01,
@@ -160,6 +162,7 @@ def _connect_components(
     return edges
 
 
+@register_topology("line")
 def line(
     n: int,
     seed: "int | np.random.Generator | None" = None,
@@ -181,6 +184,7 @@ def line(
     return Substrate(n, links, name=name or f"line(n={n})")
 
 
+@register_topology("ring")
 def ring(
     n: int,
     seed: "int | np.random.Generator | None" = None,
@@ -200,6 +204,7 @@ def ring(
     return Substrate(n, links, name=name or f"ring(n={n})")
 
 
+@register_topology("star")
 def star(
     n: int,
     seed: "int | np.random.Generator | None" = None,
@@ -217,6 +222,7 @@ def star(
     return Substrate(n, links, name=name or f"star(n={n})")
 
 
+@register_topology("grid")
 def grid(
     rows: int,
     cols: int,
@@ -242,6 +248,7 @@ def grid(
     return Substrate(rows * cols, links, name=name or f"grid({rows}x{cols})")
 
 
+@register_topology("random_tree", aliases=("tree",))
 def random_tree(
     n: int,
     seed: "int | np.random.Generator | None" = None,

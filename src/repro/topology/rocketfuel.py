@@ -28,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api.registry import register_topology
 from repro.topology.substrate import T1_MBPS, T2_MBPS, Link, Substrate
 from repro.util.rng import ensure_rng
 
@@ -173,6 +174,7 @@ def _great_circle_km(lat1: float, lon1: float, lat2: float, lon2: float) -> floa
     return 2 * radius_km * math.asin(math.sqrt(a))
 
 
+@register_topology("att", aliases=("rocketfuel-att", "as7018"))
 def att_like_topology(
     seed: "int | np.random.Generator | None" = 7018,
     access_routers: bool = True,

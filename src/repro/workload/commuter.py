@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import register_scenario
 from repro.topology.substrate import Substrate
 from repro.workload.base import Trace
 from repro.util.validation import check_positive_int
@@ -53,6 +54,7 @@ def default_period_for(n: int) -> int:
     return max(2, 2 * (int(math.log2(n)) - 2))
 
 
+@register_scenario("commuter", aliases=("commuter-dynamic",))
 @dataclass
 class CommuterScenario:
     """Commuter demand generator (static or dynamic load).
@@ -164,3 +166,9 @@ class CommuterScenario:
                 "substrate": self.substrate.name,
             },
         )
+
+
+@register_scenario("commuter-static")
+def commuter_static(substrate: Substrate, **params) -> CommuterScenario:
+    """The static-load commuter variant as a registry factory."""
+    return CommuterScenario(substrate, dynamic_load=False, **params)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import register_scenario
 from repro.topology.substrate import Substrate
 from repro.workload.base import Trace
 from repro.util.validation import check_positive, check_positive_int, check_probability
@@ -30,6 +31,7 @@ from repro.util.validation import check_positive, check_positive_int, check_prob
 __all__ = ["MobilityScenario"]
 
 
+@register_scenario("mobility")
 @dataclass
 class MobilityScenario:
     """On/off mobility demand generator (§II-D extension).

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import register_scenario
 from repro.topology.substrate import Substrate
 from repro.workload.base import Trace
 from repro.util.validation import check_positive_int, check_probability
@@ -25,6 +26,7 @@ from repro.util.validation import check_positive_int, check_probability
 __all__ = ["TimeZoneScenario"]
 
 
+@register_scenario("timezones", aliases=("time-zones",))
 @dataclass
 class TimeZoneScenario:
     """Time-zone demand generator.

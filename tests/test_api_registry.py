@@ -1,0 +1,200 @@
+"""Tests for the component registries (repro.api.registry)."""
+
+import pytest
+
+from repro.api.registry import (
+    FIGURES,
+    Registry,
+    UnknownNameError,
+    list_figures,
+    list_policies,
+    list_scenarios,
+    list_topologies,
+    resolve_figure,
+    resolve_policy,
+    resolve_scenario,
+    resolve_topology,
+)
+
+
+class TestPolicyRegistry:
+    @pytest.mark.parametrize("name,expected", [
+        ("onth", "OnTH"),
+        ("onbr", "OnBR"),
+        ("onbr-fixed", "OnBR"),
+        ("onconf", "OnConf"),
+        ("opt", "Opt"),
+        ("beamopt", "BeamOpt"),
+        ("offbr", "OffBR"),
+        ("offth", "OffTH"),
+        ("offstat", "OffStat"),
+        ("workfunction", "WorkFunctionPolicy"),
+        ("wfa", "WorkFunctionPolicy"),
+    ])
+    def test_every_exported_policy_resolves(self, name, expected):
+        assert resolve_policy(name).__name__ == expected
+
+    def test_onbr_dyn_factory(self):
+        policy = resolve_policy("onbr-dyn")()
+        assert policy.name == "ONBR-dyn"
+
+    def test_static_policy_registered(self):
+        from repro.algorithms import StaticPolicy
+
+        assert resolve_policy("static") is StaticPolicy
+
+    def test_case_and_separator_insensitive(self):
+        assert resolve_policy("ONTH") is resolve_policy("onth")
+        assert resolve_policy("ONBR_DYN") is resolve_policy("onbr-dyn")
+
+    def test_unknown_name_raises_with_suggestion(self):
+        with pytest.raises(UnknownNameError, match="did you mean 'onth'"):
+            resolve_policy("onthh")
+
+    def test_unknown_name_lists_inventory(self):
+        with pytest.raises(UnknownNameError, match="offstat"):
+            resolve_policy("zzz-nonsense")
+
+    def test_unknown_name_error_pickles(self):
+        # Process-pool workers ship this exception back to the parent.
+        import pickle
+
+        error = UnknownNameError("policy", "onthh", ("onth", "onbr"))
+        rebuilt = pickle.loads(pickle.dumps(error))
+        assert isinstance(rebuilt, UnknownNameError)
+        assert rebuilt.suggestions == error.suggestions
+        assert str(rebuilt) == str(error)
+
+
+class TestScenarioRegistry:
+    @pytest.mark.parametrize("name,expected", [
+        ("commuter", "CommuterScenario"),
+        ("commuter-dynamic", "CommuterScenario"),
+        ("commuter-static", "commuter_static"),
+        ("timezones", "TimeZoneScenario"),
+        ("time-zones", "TimeZoneScenario"),
+        ("mobility", "MobilityScenario"),
+    ])
+    def test_every_exported_scenario_resolves(self, name, expected):
+        assert resolve_scenario(name).__name__ == expected
+
+    def test_commuter_static_builds_static_variant(self):
+        from repro.topology.generators import line
+
+        substrate = line(8, seed=0)
+        scenario = resolve_scenario("commuter-static")(substrate, sojourn=5)
+        assert not scenario.dynamic_load
+
+    def test_unknown_scenario(self):
+        with pytest.raises(UnknownNameError, match="scenario"):
+            resolve_scenario("commuterr")
+
+
+class TestTopologyRegistry:
+    @pytest.mark.parametrize("name", [
+        "erdos_renyi", "er", "line", "ring", "star", "grid", "random_tree",
+        "tree", "att", "as7018",
+    ])
+    def test_every_exported_topology_resolves(self, name):
+        assert callable(resolve_topology(name))
+
+    def test_build_matches_direct_call(self):
+        from repro.topology.generators import star
+
+        assert resolve_topology("star") is star
+
+    def test_unknown_topology(self):
+        with pytest.raises(UnknownNameError, match="topology"):
+            resolve_topology("erdos")
+
+
+class TestFigureRegistry:
+    def test_all_19_figures_registered(self):
+        names = list_figures()
+        for i in range(1, 20):
+            assert f"fig{i:02d}" in names
+
+    def test_rocketfuel_and_ablations_registered(self):
+        names = set(list_figures())
+        assert "rocketfuel" in names
+        assert {n for n in names if n.startswith("abl-")} == {
+            "abl-routing", "abl-cache", "abl-threshold",
+            "abl-migration", "abl-mobility", "abl-beta",
+        }
+
+    def test_entry_unpacks_like_a_tuple(self):
+        fn, quick = resolve_figure("fig03")
+        assert callable(fn)
+        assert isinstance(quick, dict) and "runs" in quick
+
+    def test_quick_params_are_accepted_by_the_figure(self):
+        import inspect
+
+        for name, (fn, quick) in FIGURES.items():
+            accepted = set(inspect.signature(fn).parameters)
+            assert set(quick) <= accepted, (name, quick)
+
+
+class TestListings:
+    def test_listings_sorted_and_nonempty(self):
+        for listing in (list_policies(), list_scenarios(), list_topologies(),
+                        list_figures()):
+            assert listing
+            assert list(listing) == sorted(listing)
+
+
+class TestRegistryMechanics:
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("a")(int)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a")(float)
+
+    def test_same_object_reregistration_tolerated(self):
+        registry = Registry("widget")
+        registry.register("a")(int)
+        registry.register("a")(int)
+        assert registry.resolve("a") is int
+
+    def test_contains_and_len(self):
+        registry = Registry("widget")
+        registry.register("a", aliases=("b",))(int)
+        assert "a" in registry and "B" in registry and "c" not in registry
+        assert len(registry) == 2
+
+    def test_items_lists_each_registration_once(self):
+        # Aliases must resolve but not duplicate inventory-driven consumers
+        # (the CLI's --list and `all` iterate items()).
+        registry = Registry("widget")
+        registry.register("alpha", aliases=("a", "al"))(int)
+        registry.register("beta")(float)
+        assert registry.items() == (("alpha", int), ("beta", float))
+        assert registry.resolve("al") is int
+
+    def test_empty_name_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(ValueError, match="non-empty"):
+            registry.register("  ")(int)
+
+    def test_reexecuted_definition_may_overwrite(self):
+        # A module re-imported after a failed first import re-runs its
+        # decorators with fresh objects; same module+qualname = same
+        # definition, which must not raise "already registered".
+        def make():
+            def widget():
+                pass
+            return widget
+
+        first, second = make(), make()
+        registry = Registry("widget")
+        registry.register("w")(first)
+        registry.register("w")(second)
+        assert registry.resolve("w") is second
+
+    def test_failed_builtin_import_is_retried(self):
+        # A loader failure must not latch the registry into a permanently
+        # empty state masking the real cause behind "unknown name" errors.
+        registry = Registry("widget", builtin_modules=("no_such_module_xyz",))
+        for _ in range(2):
+            with pytest.raises(ModuleNotFoundError):
+                registry.resolve("anything")

@@ -1,0 +1,189 @@
+"""Tests for the declarative CLI (`python -m repro.experiments run`) and the
+new --json/--runs/--workers flags of the figure-regeneration path."""
+
+import json
+
+from repro.experiments.__main__ import build_run_parser, main, spec_from_args
+
+
+class TestRunParser:
+    def test_minimal(self):
+        args = build_run_parser().parse_args(["--policy", "onth"])
+        assert args.policy == ["onth"]
+        assert args.scenario == "commuter"
+        assert args.runs == 3
+
+    def test_spec_from_args(self):
+        args = build_run_parser().parse_args([
+            "--policy", "onth", "--policy", "onbr:cache_size=5",
+            "--topology", "erdos_renyi:n=80,p=0.05",
+            "--scenario", "timezones:requests_per_round=4",
+            "--horizon", "120", "--beta", "10", "--seed", "3",
+        ])
+        spec = spec_from_args(args)
+        experiment = spec.experiment
+        assert experiment.topology.kind == "erdos_renyi"
+        assert experiment.topology.params == {"n": 80, "p": 0.05}
+        assert experiment.scenario.params == {"requests_per_round": 4}
+        assert [p.kind for p in experiment.policies] == ["onth", "onbr"]
+        assert experiment.policies[1].params == {"cache_size": 5}
+        assert experiment.costs.migration == 10.0
+        assert experiment.horizon == 120 and experiment.seed == 3
+
+    def test_sweep_flag(self):
+        args = build_run_parser().parse_args([
+            "--policy", "onth", "--sweep", "scenario.sojourn=5,10,20",
+        ])
+        spec = spec_from_args(args)
+        assert spec.parameter == "scenario.sojourn"
+        assert spec.values == (5, 10, 20)
+
+    def test_sweep_flag_parses_booleans(self):
+        # Same value grammar as component params: true/false become bools,
+        # so sweeping e.g. dynamic_load actually flips the variant.
+        args = build_run_parser().parse_args([
+            "--policy", "onth", "--sweep", "scenario.dynamic_load=true,false",
+        ])
+        assert spec_from_args(args).values == (True, False)
+
+
+class TestRunCommand:
+    def test_acceptance_invocation(self, capsys):
+        # The ISSUE acceptance command (scaled down in runs only).
+        rc = main([
+            "run", "--policy", "onth", "--scenario", "commuter",
+            "--topology", "erdos_renyi:n=100", "--horizon", "200",
+            "--runs", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ONTH" in out and "total cost" in out
+
+    def test_multi_policy_run(self, capsys):
+        rc = main([
+            "run", "--policy", "onth", "--policy", "offstat",
+            "--topology", "erdos_renyi:n=40", "--horizon", "60", "--runs", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ONTH" in out and "OFFSTAT" in out
+
+    def test_json_output_includes_spec(self, capsys):
+        rc = main([
+            "run", "--policy", "onth", "--topology", "erdos_renyi:n=40",
+            "--horizon", "50", "--runs", "1", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["series"]["ONTH"]
+        assert payload["spec"]["experiment"]["topology"]["params"]["n"] == 40
+
+    def test_sweep_run(self, capsys):
+        rc = main([
+            "run", "--policy", "onth", "--topology", "erdos_renyi:n=40",
+            "--horizon", "60", "--sweep", "scenario.sojourn=4,8",
+            "--runs", "1", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["x_values"] == [4, 8]
+        assert payload["x_label"] == "scenario.sojourn"
+
+    def test_unknown_policy_fails_with_suggestion(self, capsys):
+        rc = main(["run", "--policy", "onthh", "--horizon", "10"])
+        assert rc == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_series_label_collision_fails_cleanly(self, capsys):
+        # onbr and onbr-fixed are distinct kinds that build the same policy
+        # name; without explicit labels their series would collide.
+        rc = main([
+            "run", "--policy", "onbr", "--policy", "onbr-fixed",
+            "--topology", "erdos_renyi:n=20", "--horizon", "10", "--runs", "1",
+        ])
+        assert rc == 2
+        assert "collide on series label" in capsys.readouterr().err
+
+    def test_label_param_disambiguates_same_name_policies(self, capsys):
+        rc = main([
+            "run", "--policy", "onth:label=onth-default",
+            "--policy", "onth:cache_size=5,label=onth-cache5",
+            "--topology", "erdos_renyi:n=20", "--horizon", "20", "--runs", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "onth-default" in out and "onth-cache5" in out
+
+    def test_same_kind_variants_with_distinct_names_allowed(self, capsys):
+        rc = main([
+            "run", "--policy", "onbr",
+            "--policy", "onbr:dynamic_threshold=true",
+            "--topology", "erdos_renyi:n=20", "--horizon", "20", "--runs", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ONBR" in out and "ONBR-dyn" in out
+
+    def test_unknown_scenario_param_fails_cleanly(self, capsys):
+        rc = main([
+            "run", "--policy", "onth", "--scenario", "commuter:bogus=1",
+            "--topology", "erdos_renyi:n=20", "--horizon", "10", "--runs", "1",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigurePathFlags:
+    def test_json_flag(self, capsys):
+        assert main(["fig13", "--runs", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure"] == "fig13"
+        assert payload["params"]["runs"] == 1
+        assert set(payload["series"]) == {"OFFSTAT", "OPT"}
+
+    def test_runs_override(self, capsys):
+        assert main(["fig13", "--runs", "1"]) == 0
+        assert "[fig13]" in capsys.readouterr().out
+
+    def test_workers_flag(self, capsys):
+        assert main(["fig13", "--runs", "1", "--workers", "2"]) == 0
+        assert "[fig13]" in capsys.readouterr().out
+
+    def test_runs_ignored_for_non_sweep_figures(self, capsys):
+        assert main(["fig12", "--runs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[fig12]" in captured.out
+        assert "does not take --runs" in captured.err
+
+    def test_figure_lookup_is_separator_insensitive(self, capsys):
+        assert main(["abl_threshold", "--runs", "1"]) == 0
+        assert "abl-threshold" in capsys.readouterr().out
+
+    def test_figure_typo_gets_suggestion(self, capsys):
+        assert main(["fig13x"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err and "did you mean" in err
+
+    def test_figure_alias_resolves_via_live_registry(self, monkeypatch):
+        # register_figure accepts aliases; they are not enumerated in the
+        # snapshot but must still resolve from the command line.
+        import repro.experiments.__main__ as cli
+        from repro.api.registry import FIGURES
+
+        entry = cli._REGISTRY["fig13"]
+        monkeypatch.setitem(FIGURES._entries, "zz_alias_test", entry)
+        monkeypatch.setitem(FIGURES._display, "zz_alias_test", "zz-alias-test")
+        assert cli._lookup_figure("zz-alias-test") == "fig13"
+
+    def test_all_with_json_is_one_document(self, capsys, monkeypatch):
+        import repro.experiments.__main__ as cli
+
+        monkeypatch.setattr(
+            cli, "_REGISTRY",
+            {"fig13": cli._REGISTRY["fig13"], "fig14": cli._REGISTRY["fig14"]},
+        )
+        assert main(["all", "--runs", "1", "--json"]) == 0
+        captured = capsys.readouterr()
+        payloads = json.loads(captured.out)  # must parse as a single array
+        assert [p["figure"] for p in payloads] == ["fig13", "fig14"]
+        assert "regenerated 2 experiments" in captured.err

@@ -89,6 +89,43 @@ class TestSweepExperiment:
         with pytest.raises(RuntimeError, match="series"):
             sweep_experiment("f", "t", "x", [1, 2], replicate, runs=1, seed=0)
 
+    def test_inconsistent_keys_within_first_point_rejected(self):
+        """Ragged replicates inside the *first* sweep point must fail too,
+        not merge silently into misaligned series."""
+        samples = iter([{"a": 1.0}, {"a": 1.0, "b": 2.0}])
+
+        def replicate(x, rng):
+            return next(samples)
+
+        with pytest.raises(RuntimeError, match="series"):
+            sweep_experiment("f", "t", "x", [1], replicate, runs=2, seed=0)
+
+    def test_serial_ragged_series_fails_fast(self):
+        """A serial sweep aborts at the offending replicate, not after
+        burning through every remaining sweep point."""
+        calls = []
+
+        def replicate(x, rng):
+            calls.append(x)
+            return {"a": 1.0} if x < 3 else {"b": 1.0}
+
+        with pytest.raises(RuntimeError, match="series"):
+            sweep_experiment(
+                "f", "t", "x", [1, 2, 3, 4, 5], replicate, runs=1, seed=0
+            )
+        assert calls == [1, 2, 3]  # replicates after the bad one never ran
+
+    def test_to_dict_round_trip(self):
+        result = sweep_experiment(
+            "f", "t", "x", [1, 2], lambda x, rng: {"y": float(x)},
+            runs=2, seed=0, notes="n",
+        )
+        rebuilt = FigureResult.from_dict(result.to_dict())
+        assert rebuilt.series == result.series
+        assert rebuilt.errors == result.errors
+        assert rebuilt.x_values == result.x_values
+        assert rebuilt.notes == "n"
+
     def test_runs_must_be_positive(self):
         with pytest.raises(ValueError, match="runs"):
             sweep_experiment("f", "t", "x", [1], lambda x, rng: {}, runs=0)
