@@ -13,9 +13,19 @@ from conftest import run_once
 from repro.algorithms import BeamOpt, OffStat, OnBR, OnConf, OnTH, Opt, WorkFunctionPolicy
 from repro.core.costs import CostModel
 from repro.core.simulator import simulate
-from repro.experiments.figures import DEFAULT_SEED, _commuter_trace, _opt_line, _timezone_trace
+from repro.experiments.figures import (
+    DEFAULT_SEED,
+    _LINE_LATENCIES,
+    _commuter_trace,
+    _timezone_trace,
+)
 from repro.experiments.runner import sweep_experiment
-from repro.topology.generators import erdos_renyi
+from repro.topology.generators import erdos_renyi, line
+
+
+def _opt_line(n, rng):
+    """The non-unit-latency line substrate of the OPT-based figures."""
+    return line(n, seed=rng, unit_latency=False, latency_range=_LINE_LATENCIES)
 
 
 @pytest.mark.figure("ext-online")

@@ -9,18 +9,25 @@ it runs. This example
 2. round-trips the spec through JSON — the exact run is reproducible from a
    text blob (cache keys, experiment manifests, issue reports),
 3. sweeps a parameter with ``run_sweep`` serially and on a process pool,
-   verifying the results are bit-identical, and
-4. shows the matching one-liner CLI invocation.
+   verifying the results are bit-identical,
+4. shows the matching one-liner CLI invocation,
+5. expresses a *derived* result — the ONTH/OPT competitive ratio of
+   Figure 11 — as a :class:`MetricSpec` instead of custom code, and
+6. re-runs a sweep through a spec-keyed :class:`ResultCache`, loading the
+   second invocation from disk without simulating anything.
 
 Run:  python examples/declarative_specs.py
 """
 
 import json
+import tempfile
 
 from repro import (
     ExperimentSpec,
+    MetricSpec,
     PolicySpec,
     ProcessPoolBackend,
+    ResultCache,
     ScenarioSpec,
     SweepSpec,
     TopologySpec,
@@ -79,6 +86,52 @@ def main() -> None:
         "      --topology erdos_renyi:n=120 --horizon 200 \\\n"
         "      --sweep topology.n=60,120,240 --runs 3 --workers 4"
     )
+
+    # 5. Derived metrics as data: the ONTH/OPT competitive ratio on a line
+    #    graph (the shape of the paper's Figure 11), swept over λ. The
+    #    "cost_ratio_vs" metric solves the exact offline optimum per
+    #    replicate — no closure, the whole figure is this JSON-able spec.
+    ratio_sweep = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=TopologySpec(
+                "line",
+                {"n": 5, "unit_latency": False, "latency_range": (5.0, 20.0)},
+            ),
+            scenario=ScenarioSpec("commuter", {"period": 4}),
+            policies=(PolicySpec("onth", label="ONTH"),),
+            horizon=60,
+            metrics=(MetricSpec("cost_ratio_vs", {"reference": "OPT"}),),
+        ),
+        parameter="scenario.sojourn",
+        values=(2, 5, 15),
+        runs=3,
+        seed=7,
+        figure="example-ratio",
+        x_label="λ",
+    )
+    assert SweepSpec.from_dict(json.loads(json.dumps(ratio_sweep.to_dict())))
+    ratios = run_sweep(ratio_sweep)
+    print("\nONTH/OPT ratio vs λ (a MetricSpec, not a closure):")
+    print("  " + ", ".join(f"λ={x}: {r:.3f}"
+                           for x, r in zip(ratios.x_values, ratios.y("ONTH"))))
+    print(
+        "equivalent CLI:\n"
+        "  python -m repro.experiments run --policy onth \\\n"
+        "      --topology line:n=5,unit_latency=false --scenario commuter:period=4 \\\n"
+        "      --metric cost_ratio_vs:reference=OPT --sweep scenario.sojourn=2,5,15"
+    )
+
+    # 6. Because the spec is the complete input, it doubles as a cache key:
+    #    the second run_sweep loads the stored FigureResult from disk.
+    with tempfile.TemporaryDirectory() as root:
+        cache = ResultCache(root)
+        first = run_sweep(ratio_sweep, cache=cache)     # simulates + stores
+        second = run_sweep(ratio_sweep, cache=cache)    # pure disk read
+        assert second == first and cache.hits == 1
+        print(
+            f"\ncached re-run identical (1 store, 1 hit under {root});\n"
+            "  CLI: ... --cache-dir ~/.cache/repro-experiments"
+        )
 
 
 if __name__ == "__main__":

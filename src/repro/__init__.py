@@ -28,18 +28,23 @@ Quickstart::
 from repro.api import (
     CostSpec,
     ExperimentSpec,
+    MetricSpec,
     PolicySpec,
     ProcessPoolBackend,
+    ResultCache,
     ScenarioSpec,
     SerialBackend,
     SweepSpec,
     TopologySpec,
+    list_metrics,
     list_policies,
     list_scenarios,
     list_topologies,
+    register_metric,
     register_policy,
     register_scenario,
     register_topology,
+    resolve_metric,
     resolve_policy,
     resolve_scenario,
     resolve_topology,
@@ -115,21 +120,26 @@ __all__ = [
     "ScenarioSpec",
     "PolicySpec",
     "CostSpec",
+    "MetricSpec",
     "ExperimentSpec",
     "SweepSpec",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ResultCache",
     "run_experiment",
     "run_sweep",
     "register_policy",
     "register_scenario",
     "register_topology",
+    "register_metric",
     "resolve_policy",
     "resolve_scenario",
     "resolve_topology",
+    "resolve_metric",
     "list_policies",
     "list_scenarios",
     "list_topologies",
+    "list_metrics",
     # algorithms
     "OnConf",
     "OnBR",

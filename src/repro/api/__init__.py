@@ -9,6 +9,10 @@ This package is the chassis of the experiment stack:
   purely as data (:class:`ExperimentSpec`, :class:`SweepSpec`, ...);
 * :mod:`repro.api.execution` — pluggable :class:`ExecutionBackend`\\ s
   (serial or process pool) with bit-identical results;
+* :mod:`repro.api.metrics` — built-in result metrics (totals, OPT ratios,
+  cost breakdowns) evaluated over full per-policy ledgers;
+* :mod:`repro.api.cache` — :class:`ResultCache`, disk memoization of sweep
+  results keyed on the spec dict;
 * :mod:`repro.api.experiment` — :func:`run_experiment` / :func:`run_sweep`
   executing specs through the simulator and sweep engine.
 
@@ -30,27 +34,39 @@ _EXPORTS = {
     "SCENARIOS": "repro.api.registry",
     "TOPOLOGIES": "repro.api.registry",
     "FIGURES": "repro.api.registry",
+    "METRICS": "repro.api.registry",
     "register_policy": "repro.api.registry",
     "register_scenario": "repro.api.registry",
     "register_topology": "repro.api.registry",
     "register_figure": "repro.api.registry",
+    "register_metric": "repro.api.registry",
     "resolve_policy": "repro.api.registry",
     "resolve_scenario": "repro.api.registry",
     "resolve_topology": "repro.api.registry",
     "resolve_figure": "repro.api.registry",
+    "resolve_metric": "repro.api.registry",
     "list_policies": "repro.api.registry",
     "list_scenarios": "repro.api.registry",
     "list_topologies": "repro.api.registry",
     "list_figures": "repro.api.registry",
+    "list_metrics": "repro.api.registry",
     # specs
     "TopologySpec": "repro.api.specs",
     "ScenarioSpec": "repro.api.specs",
     "PolicySpec": "repro.api.specs",
     "CostSpec": "repro.api.specs",
+    "MetricSpec": "repro.api.specs",
+    "DEFAULT_METRICS": "repro.api.specs",
     "ExperimentSpec": "repro.api.specs",
     "SweepSpec": "repro.api.specs",
     "parse_component": "repro.api.specs",
     "parse_value": "repro.api.specs",
+    # metrics
+    "PolicyRun": "repro.api.metrics",
+    "MetricContext": "repro.api.metrics",
+    "evaluate_metrics": "repro.api.metrics",
+    # cache
+    "ResultCache": "repro.api.cache",
     # execution
     "ReplicateTask": "repro.api.execution",
     "ExecutionBackend": "repro.api.execution",

@@ -1,0 +1,175 @@
+"""Disk cache for sweep results, keyed on the spec that produced them.
+
+Because a :class:`~repro.api.specs.SweepSpec` is pure data — every input of
+the computation, including replicate counts and the master seed, round-trips
+through ``spec.to_dict()`` — the spec dict is a complete cache key: two runs
+with equal spec dicts are guaranteed bit-identical (the execution backend
+provably does not affect results). :class:`ResultCache` exploits that to
+memoize :class:`~repro.experiments.runner.FigureResult`\\ s on disk:
+
+    cache = ResultCache("~/.cache/repro-experiments")
+    result = run_sweep(spec, cache=cache)      # simulates, stores
+    again = run_sweep(spec, cache=cache)       # loads; again == result
+
+The key is a SHA-256 over the canonical (sorted-keys) JSON of the spec dict
+plus the package version, a fingerprint of the installed package's source
+files and a cache schema number — so upgrading the code, *editing* it in an
+editable install, or changing the storage format all invalidate stale
+entries instead of serving them.
+Entries live one JSON file per key, fanned out over two-hex-digit
+subdirectories, and each file carries the full spec dict for verification:
+a hash collision or hand-edited file is treated as a miss, never served.
+
+Writes are atomic (temp file + rename), so a crashed or parallel run cannot
+leave a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.api.specs import SweepSpec
+    from repro.experiments.runner import FigureResult
+
+__all__ = ["ResultCache"]
+
+#: Bump to invalidate every existing cache entry on a storage-format change.
+CACHE_SCHEMA = 1
+
+#: Process-wide memo of :func:`_code_fingerprint` (the sources cannot
+#: change meaningfully within one interpreter: modules are already loaded).
+_FINGERPRINT: "str | None" = None
+
+
+def _code_fingerprint() -> str:
+    """A digest of the installed ``repro`` sources.
+
+    ``__version__`` alone cannot invalidate the cache under an editable
+    install (the README's own workflow), where code edits never bump the
+    version: a result computed before an algorithm edit must not be served
+    after it. Hashing every package source file (~a few hundred KB, once
+    per process) closes that hole.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).resolve().parent
+        for source in sorted(root.rglob("*.py")):
+            digest.update(str(source.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class ResultCache:
+    """A content-addressed store of figure results under one root directory.
+
+    Args:
+        root: directory holding the entries (created on first store).
+
+    Attributes:
+        hits/misses/stores: counters over this instance's lifetime — the CLI
+            reports them and tests assert a re-run did not re-simulate.
+    """
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys -------------------------------------------------------------------
+
+    def key_for(self, spec: "SweepSpec") -> str:
+        """The stable cache key of ``spec``: SHA-256 of its canonical JSON.
+
+        Includes the package version and a source fingerprint so code
+        upgrades *and* in-place edits invalidate rather than replay stale
+        results.
+        """
+        import repro
+
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": repro.__version__,
+            "code": _code_fingerprint(),
+            "sweep": spec.to_dict(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def path_for(self, spec: "SweepSpec") -> Path:
+        """Where ``spec``'s entry lives (whether or not it exists yet)."""
+        key = self.key_for(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- load/store -------------------------------------------------------------
+
+    def load(self, spec: "SweepSpec") -> "FigureResult | None":
+        """The cached result of ``spec``, or ``None`` on a miss.
+
+        Corrupt entries and spec-dict mismatches (hash collisions, edited
+        files) count as misses — the caller re-simulates and overwrites.
+        """
+        from repro.experiments.runner import FigureResult
+
+        path = self.path_for(spec)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("schema") != CACHE_SCHEMA or data.get("sweep") != spec.to_dict():
+            self.misses += 1
+            return None
+        try:
+            result = FigureResult.from_dict(data["result"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, spec: "SweepSpec", result: "FigureResult") -> Path:
+        """Persist ``result`` under ``spec``'s key; returns the entry path."""
+        import repro
+
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": repro.__version__,
+            "key": self.key_for(spec),
+            "sweep": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        # Atomic publish: a parallel run or crash never exposes a torn file.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r})"

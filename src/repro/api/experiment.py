@@ -5,26 +5,33 @@ These are the two entry points the spec layer adds on top of
 :func:`repro.experiments.runner.sweep_experiment`:
 
 * :func:`run_experiment` materialises one :class:`ExperimentSpec` — build
-  the substrate, generate the trace, run every policy — and returns the full
-  per-policy :class:`~repro.core.results.RunResult` ledgers.
+  the substrate, generate the trace(s), run every policy — and returns the
+  full per-policy :class:`~repro.core.results.RunResult` ledgers plus the
+  spec's evaluated metric series.
 * :func:`run_sweep` turns a :class:`SweepSpec` into a
   :class:`~repro.experiments.runner.FigureResult` via the sweep engine; pass
   an :class:`~repro.api.execution.ExecutionBackend` to parallelise the
-  replicates (results are bit-identical across backends).
+  replicates (results are bit-identical across backends) and a
+  :class:`~repro.api.cache.ResultCache` to memoize whole sweeps on disk.
 
 Randomness follows the figure-module convention: one generator drives
 topology construction, trace generation and every policy's simulation in
-declaration order, so a spec plus a seed pins the exact run.
+declaration order, so a spec plus a seed pins the exact run. With
+per-policy scenario overrides, all distinct traces are generated (in
+first-use order) *before* any policy simulates — the order the paper's
+multi-scenario comparisons always used — and metrics evaluate strictly
+after the last simulation without consuming any randomness.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 import numpy as np
 
 from repro.api.execution import ExecutionBackend
+from repro.api.metrics import MetricContext, PolicyRun, evaluate_metrics
 from repro.api.specs import ExperimentSpec, SweepSpec
 from repro.core.results import RunResult
 from repro.core.simulator import simulate
@@ -52,10 +59,13 @@ class ExperimentResult:
         spec: the executed spec (self-describing provenance).
         results: mapping policy label → full :class:`RunResult` ledger, in
             the spec's policy order.
+        series: the spec's metrics evaluated over those ledgers (with the
+            default ``total_cost`` metric: label → grand total).
     """
 
     spec: ExperimentSpec
     results: "Mapping[str, RunResult]"
+    series: "Mapping[str, float]" = field(default_factory=dict)
 
     @property
     def total_costs(self) -> "dict[str, float]":
@@ -63,48 +73,90 @@ class ExperimentResult:
         return {label: run.total_cost for label, run in self.results.items()}
 
     def to_figure_result(self) -> "FigureResult":
-        """Render the totals as a single-point :class:`FigureResult`."""
+        """Render the metric series as a single-point :class:`FigureResult`."""
         from repro.experiments.runner import FigureResult
 
+        series = self.series or self.total_costs
         return FigureResult(
             figure=self.spec.name or "experiment",
             title=f"{self.spec.scenario.kind} on {self.spec.topology.kind}",
             x_label="metric",
             x_values=("total cost",),
-            series={label: (cost,) for label, cost in self.total_costs.items()},
+            series={name: (value,) for name, value in series.items()},
         )
 
 
-def _materialise(spec: ExperimentSpec, rng: np.random.Generator):
-    """Build the concrete substrate, trace and cost model for one replicate."""
+def _simulate_spec(
+    spec: ExperimentSpec, rng: np.random.Generator
+) -> MetricContext:
+    """Run every policy of ``spec`` and collect the full replicate context.
+
+    The randomness contract (and thus bit-compatibility with the historical
+    closure implementations): the substrate builds first, then one trace per
+    *distinct* effective scenario in first-use order, then the policies
+    simulate in declaration order — all from the single ``rng`` stream.
+    Policies sharing an effective scenario share its trace.
+    """
     substrate = spec.topology.build(rng)
-    scenario = spec.scenario.build(substrate)
-    trace = generate_trace(scenario, spec.horizon, rng)
-    return substrate, trace, spec.costs.to_cost_model()
+    scenario_specs: list = []
+    traces: list = []
+    trace_of: list[int] = []
+    for policy_spec in spec.policies:
+        effective = policy_spec.scenario or spec.scenario
+        for index, seen in enumerate(scenario_specs):
+            if seen == effective:
+                trace_of.append(index)
+                break
+        else:
+            scenario_specs.append(effective)
+            traces.append(
+                generate_trace(effective.build(substrate), spec.horizon, rng)
+            )
+            trace_of.append(len(traces) - 1)
+
+    runs: list[PolicyRun] = []
+    taken: dict[str, bool] = {}
+    for policy_spec, trace_index in zip(spec.policies, trace_of):
+        policy = policy_spec.build()
+        cost_spec = policy_spec.costs or spec.costs
+        costs = cost_spec.to_cost_model()
+        run = simulate(
+            substrate,
+            policy,
+            traces[trace_index],
+            costs,
+            routing=spec.routing_strategy,
+            seed=rng,
+        )
+        label = _series_label(policy_spec, policy, taken)
+        taken[label] = True
+        runs.append(
+            PolicyRun(
+                label=label,
+                spec=policy_spec,
+                run=run,
+                trace=traces[trace_index],
+                trace_index=trace_index,
+                costs=costs,
+                cost_spec=cost_spec,
+                scenario=scenario_specs[trace_index],
+            )
+        )
+    return MetricContext(spec=spec, substrate=substrate, runs=runs)
 
 
 def run_replicate(
     spec: ExperimentSpec, rng: np.random.Generator
 ) -> "dict[str, float]":
-    """One independent replicate of ``spec``: total cost per policy label.
+    """One independent replicate of ``spec``: its metric series.
 
     This is the sweep-engine shape (``(x, rng) -> {series: value}`` minus
-    the ``x``); :func:`run_sweep` fans it out per sweep point.
+    the ``x``); :func:`run_sweep` fans it out per sweep point. With the
+    default ``total_cost`` metric the output is the per-policy totals, as
+    it always was.
     """
-    substrate, trace, costs = _materialise(spec, rng)
-    out: dict[str, float] = {}
-    for policy_spec in spec.policies:
-        policy = policy_spec.build()
-        run = simulate(
-            substrate,
-            policy,
-            trace,
-            costs,
-            routing=spec.routing_strategy,
-            seed=rng,
-        )
-        out[_series_label(policy_spec, policy, out)] = run.total_cost
-    return out
+    context = _simulate_spec(spec, rng)
+    return evaluate_metrics(context, spec.metrics)
 
 
 def resolve_series_labels(spec: ExperimentSpec) -> "tuple[str, ...]":
@@ -112,6 +164,8 @@ def resolve_series_labels(spec: ExperimentSpec) -> "tuple[str, ...]":
 
     Useful as a cheap pre-flight before a long sweep: it surfaces label
     collisions (and bad policy parameters) without simulating anything.
+    Metric-derived series names depend on the simulated results and are
+    validated at evaluation time instead.
     """
     taken: dict[str, bool] = {}
     for policy_spec in spec.policies:
@@ -139,20 +193,12 @@ def _series_label(policy_spec, policy, taken) -> str:
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Execute ``spec`` once (seeded by ``spec.seed``) keeping full ledgers."""
     rng = np.random.default_rng(spec.seed)
-    substrate, trace, costs = _materialise(spec, rng)
-    results: dict[str, RunResult] = {}
-    for policy_spec in spec.policies:
-        policy = policy_spec.build()
-        run = simulate(
-            substrate,
-            policy,
-            trace,
-            costs,
-            routing=spec.routing_strategy,
-            seed=rng,
-        )
-        results[_series_label(policy_spec, policy, results)] = run
-    return ExperimentResult(spec=spec, results=results)
+    context = _simulate_spec(spec, rng)
+    return ExperimentResult(
+        spec=spec,
+        results={run.label: run.run for run in context.runs},
+        series=evaluate_metrics(context, spec.metrics),
+    )
 
 
 class SpecReplicate:
@@ -174,7 +220,9 @@ class SpecReplicate:
 
 
 def run_sweep(
-    spec: SweepSpec, backend: "ExecutionBackend | None" = None
+    spec: SweepSpec,
+    backend: "ExecutionBackend | None" = None,
+    cache: "ResultCache | None" = None,
 ) -> "FigureResult":
     """Run the sweep described by ``spec`` and aggregate a figure result.
 
@@ -182,10 +230,19 @@ def run_sweep(
         spec: the declarative sweep.
         backend: where replicates execute; ``None`` = serial. Serial and
             parallel backends return identical results for the same spec.
+        cache: optional :class:`~repro.api.cache.ResultCache`; a hit returns
+            the stored result without simulating anything, a miss stores
+            the freshly computed one. Safe because the spec is the complete
+            input of the computation and results are backend-independent.
     """
     from repro.experiments.runner import sweep_experiment
 
-    return sweep_experiment(
+    if cache is not None:
+        cached = cache.load(spec)
+        if cached is not None:
+            return cached
+
+    result = sweep_experiment(
         figure=spec.figure,
         title=spec.resolved_title(),
         x_label=spec.resolved_x_label(),
@@ -196,3 +253,12 @@ def run_sweep(
         notes=spec.notes,
         backend=backend,
     )
+    if isinstance(spec.parameter, tuple):
+        # Coupled sweeps substitute value tuples; the figure plots the
+        # primary (first) component on the x axis.
+        result = replace(
+            result, x_values=tuple(spec.display_x(x) for x in spec.values)
+        )
+    if cache is not None:
+        cache.store(spec, result)
+    return result

@@ -1,4 +1,5 @@
-"""Decorator-based registries for policies, scenarios, topologies and figures.
+"""Decorator-based registries for policies, scenarios, topologies, figures
+and metrics.
 
 The experiment stack is declarative: a run is described by *names* —
 ``"onth"``, ``"commuter"``, ``"erdos_renyi"`` — that resolve to the callables
@@ -37,18 +38,22 @@ __all__ = [
     "SCENARIOS",
     "TOPOLOGIES",
     "FIGURES",
+    "METRICS",
     "register_policy",
     "register_scenario",
     "register_topology",
     "register_figure",
+    "register_metric",
     "resolve_policy",
     "resolve_scenario",
     "resolve_topology",
     "resolve_figure",
+    "resolve_metric",
     "list_policies",
     "list_scenarios",
     "list_topologies",
     "list_figures",
+    "list_metrics",
 ]
 
 
@@ -229,6 +234,7 @@ FIGURES = Registry(
     "figure",
     builtin_modules=("repro.experiments.figures", "repro.experiments.ablations"),
 )
+METRICS = Registry("metric", builtin_modules=("repro.api.metrics",))
 
 
 def register_policy(name: str, *, aliases: Sequence[str] = ()):
@@ -256,6 +262,17 @@ def register_figure(
         return fn
 
     return decorate
+
+
+def register_metric(name: str, *, aliases: Sequence[str] = ()):
+    """Register a metric function ``f(context, **params) -> {series: value}``.
+
+    A metric maps the full per-policy :class:`~repro.core.results.RunResult`
+    ledgers of one replicate (exposed through a
+    :class:`~repro.api.metrics.MetricContext`) to named scalar series; see
+    :mod:`repro.api.metrics` for the built-ins.
+    """
+    return METRICS.register(name, aliases=aliases)
 
 
 def resolve_policy(name: str) -> Any:
@@ -293,6 +310,16 @@ def list_topologies() -> tuple[str, ...]:
     return TOPOLOGIES.names()
 
 
+def resolve_metric(name: str) -> Any:
+    """The metric function registered under ``name``."""
+    return METRICS.resolve(name)
+
+
 def list_figures() -> tuple[str, ...]:
     """All registered figure names."""
     return FIGURES.names()
+
+
+def list_metrics() -> tuple[str, ...]:
+    """All registered metric names."""
+    return METRICS.names()

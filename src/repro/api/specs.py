@@ -16,8 +16,17 @@ The composition is::
       ├─ TopologySpec           e.g. ("erdos_renyi", {"n": 200})
       ├─ ScenarioSpec           e.g. ("commuter", {"sojourn": 10})
       ├─ PolicySpec ×k          e.g. ("onth", {}, label="ONTH")
-      └─ CostSpec               β, c, Ra, Ri, load model
-    SweepSpec                 a parameter swept over an ExperimentSpec
+      │    └─ optional per-policy CostSpec / ScenarioSpec overrides
+      ├─ CostSpec               β, c, Ra, Ri, load model
+      └─ MetricSpec ×m          e.g. ("cost_ratio_vs", {"reference": "OPT"})
+    SweepSpec                 parameter(s) swept over an ExperimentSpec
+
+A policy entry may override the experiment's cost regime or demand scenario
+(``PolicySpec(..., costs=..., scenario=...)``), which is how the paper's
+two-regime ratio figures (β<c vs β>c on one shared trace) and multi-scenario
+comparisons (Figure 11) are expressed as one spec. Metrics turn the
+replicate's full per-policy ledgers into named result series; the default
+``total_cost`` metric reproduces the historical per-policy totals.
 
 Execution lives in :mod:`repro.api.experiment`
 (:func:`~repro.api.experiment.run_experiment`,
@@ -27,12 +36,18 @@ Execution lives in :mod:`repro.api.experiment`
 from __future__ import annotations
 
 import inspect
+import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
 import numpy as np
 
-from repro.api.registry import resolve_policy, resolve_scenario, resolve_topology
+from repro.api.registry import (
+    resolve_metric,
+    resolve_policy,
+    resolve_scenario,
+    resolve_topology,
+)
 from repro.core.costs import CostModel
 from repro.core.load import LinearLoad, LoadFunction, PowerLoad, QuadraticLoad
 from repro.core.routing import RoutingStrategy
@@ -42,6 +57,8 @@ __all__ = [
     "ScenarioSpec",
     "PolicySpec",
     "CostSpec",
+    "MetricSpec",
+    "DEFAULT_METRICS",
     "ExperimentSpec",
     "SweepSpec",
     "parse_component",
@@ -168,9 +185,20 @@ class ScenarioSpec(_ComponentSpec):
 
 @dataclass(frozen=True)
 class PolicySpec(_ComponentSpec):
-    """An allocation policy plus an optional display label for result series."""
+    """An allocation policy plus an optional display label for result series.
+
+    ``costs`` and ``scenario``, when set, override the experiment's cost
+    regime / demand scenario *for this policy only*. Policies sharing the
+    same effective scenario also share one generated trace per replicate, so
+    ``PolicySpec("offstat", label="β<c")`` next to
+    ``PolicySpec("offstat", label="β>c", costs=CostSpec.migration_expensive())``
+    compares the two regimes on identical demand — the structure of the
+    paper's ratio figures.
+    """
 
     label: "str | None" = None
+    costs: "CostSpec | None" = None
+    scenario: "ScenarioSpec | None" = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -181,6 +209,14 @@ class PolicySpec(_ComponentSpec):
             if not label:
                 raise ValueError("PolicySpec.label must be non-empty when set")
             object.__setattr__(self, "label", label)
+        # Accept plain dicts for the overrides so hand-written JSON specs
+        # need no special casing.
+        if self.costs is not None and not isinstance(self.costs, CostSpec):
+            object.__setattr__(self, "costs", CostSpec.from_dict(self.costs))
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
+            object.__setattr__(
+                self, "scenario", ScenarioSpec.from_dict(self.scenario)
+            )
 
     def build(self):
         """Instantiate the policy."""
@@ -190,15 +226,27 @@ class PolicySpec(_ComponentSpec):
     def to_dict(self) -> dict:
         data = super().to_dict()
         data["label"] = self.label
+        data["costs"] = self.costs.to_dict() if self.costs is not None else None
+        data["scenario"] = (
+            self.scenario.to_dict() if self.scenario is not None else None
+        )
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "PolicySpec":
-        _check_keys(data, {"kind", "params", "label"}, "PolicySpec")
+        _check_keys(
+            data, {"kind", "params", "label", "costs", "scenario"}, "PolicySpec"
+        )
+        costs = data.get("costs")
+        scenario = data.get("scenario")
         return cls(
             kind=data["kind"],
             params=dict(data.get("params") or {}),
             label=data.get("label"),
+            costs=CostSpec.from_dict(costs) if costs is not None else None,
+            scenario=(
+                ScenarioSpec.from_dict(scenario) if scenario is not None else None
+            ),
         )
 
 
@@ -273,6 +321,51 @@ class CostSpec:
 
 
 @dataclass(frozen=True)
+class MetricSpec(_ComponentSpec):
+    """A derived result metric: a registered metric function plus parameters.
+
+    A metric maps one replicate's full per-policy ledgers to named scalar
+    series (see :mod:`repro.api.metrics`). ``label``, when set, renames a
+    single-series output outright and prefixes each series of a multi-series
+    output (``"<label> <series>"``) — the knob for avoiding series-name
+    collisions when several metrics are combined.
+    """
+
+    label: "str | None" = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.label is not None:
+            label = str(self.label).strip()
+            if not label:
+                raise ValueError("MetricSpec.label must be non-empty when set")
+            object.__setattr__(self, "label", label)
+
+    def resolve(self):
+        """The registered metric function behind :attr:`kind`."""
+        return resolve_metric(self.kind)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricSpec":
+        _check_keys(data, {"kind", "params", "label"}, "MetricSpec")
+        return cls(
+            kind=data["kind"],
+            params=dict(data.get("params") or {}),
+            label=data.get("label"),
+        )
+
+
+#: The metric evaluated when a spec names none: per-policy total cost —
+#: exactly the historical (pre-metric-pipeline) replicate output.
+DEFAULT_METRICS = (MetricSpec("total_cost"),)
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One complete replicate description: who runs on what, for how long."""
 
@@ -284,11 +377,37 @@ class ExperimentSpec:
     routing: str = "nearest"
     seed: int = 0
     name: str = ""
+    metrics: "tuple[MetricSpec, ...]" = DEFAULT_METRICS
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policies", tuple(self.policies))
         if not self.policies:
             raise ValueError("ExperimentSpec needs at least one policy")
+        object.__setattr__(
+            self,
+            "metrics",
+            tuple(
+                m if isinstance(m, MetricSpec) else MetricSpec.from_dict(m)
+                for m in self.metrics
+            ),
+        )
+        if not self.metrics:
+            raise ValueError("ExperimentSpec needs at least one metric")
+        # Two identical metric entries would emit identical series names and
+        # collide at runtime on every replicate; reject them at build time.
+        fingerprints = [
+            (m.kind, json.dumps(_jsonable(m.params), sort_keys=True), m.label)
+            for m in self.metrics
+        ]
+        duplicate_metrics = {
+            fp for fp in fingerprints if fingerprints.count(fp) > 1
+        }
+        if duplicate_metrics:
+            raise ValueError(
+                "duplicate metrics in spec (identical kind/params/label): "
+                f"{sorted(fp[0] for fp in duplicate_metrics)}; set "
+                "MetricSpec.label to distinguish intentional repeats"
+            )
         if self.horizon < 1:
             raise ValueError(f"horizon must be >= 1, got {self.horizon}")
         object.__setattr__(
@@ -324,6 +443,10 @@ class ExperimentSpec:
         ``"name"``, ``"routing"``) or a dotted component parameter:
         ``"topology.n"``, ``"scenario.sojourn"``, ``"costs.migration"``, or
         ``"policies.cache_size"`` (applied to every policy).
+
+        ``scenario.*`` and ``costs.*`` substitutions also reach per-policy
+        overrides: sweeping ``scenario.sojourn`` over a multi-scenario spec
+        (Figure 11's three demand families) moves every scenario in lockstep.
         """
         head, dot, rest = path.partition(".")
         if not dot:
@@ -338,9 +461,27 @@ class ExperimentSpec:
         if head == "topology":
             return replace(self, topology=self.topology.with_params(**{rest: value}))
         if head == "scenario":
-            return replace(self, scenario=self.scenario.with_params(**{rest: value}))
+            return replace(
+                self,
+                scenario=self.scenario.with_params(**{rest: value}),
+                policies=tuple(
+                    replace(p, scenario=p.scenario.with_params(**{rest: value}))
+                    if p.scenario is not None
+                    else p
+                    for p in self.policies
+                ),
+            )
         if head == "costs":
-            return replace(self, costs=replace(self.costs, **{rest: value}))
+            return replace(
+                self,
+                costs=replace(self.costs, **{rest: value}),
+                policies=tuple(
+                    replace(p, costs=replace(p.costs, **{rest: value}))
+                    if p.costs is not None
+                    else p
+                    for p in self.policies
+                ),
+            )
         if head == "policies":
             return replace(
                 self,
@@ -361,6 +502,7 @@ class ExperimentSpec:
             "scenario": self.scenario.to_dict(),
             "policies": [p.to_dict() for p in self.policies],
             "costs": self.costs.to_dict(),
+            "metrics": [m.to_dict() for m in self.metrics],
             "horizon": self.horizon,
             "routing": self.routing,
             "seed": self.seed,
@@ -371,8 +513,8 @@ class ExperimentSpec:
         """Inverse of :meth:`to_dict`; unknown keys raise."""
         _check_keys(
             data,
-            {"name", "topology", "scenario", "policies", "costs", "horizon",
-             "routing", "seed"},
+            {"name", "topology", "scenario", "policies", "costs", "metrics",
+             "horizon", "routing", "seed"},
             "ExperimentSpec",
         )
         return cls(
@@ -382,6 +524,14 @@ class ExperimentSpec:
                 PolicySpec.from_dict(p) for p in data.get("policies", ())
             ),
             costs=CostSpec.from_dict(data.get("costs") or {}),
+            # A dict *without* the key (pre-metric-pipeline era) gets the
+            # default; an explicit empty list is malformed and must raise
+            # in __post_init__ like ExperimentSpec(metrics=()) does.
+            metrics=(
+                tuple(MetricSpec.from_dict(m) for m in data["metrics"])
+                if data.get("metrics") is not None
+                else DEFAULT_METRICS
+            ),
             horizon=data.get("horizon", 500),
             routing=data.get("routing", "nearest"),
             seed=data.get("seed", 0),
@@ -396,10 +546,16 @@ class SweepSpec:
     ``parameter`` is a :meth:`ExperimentSpec.with_param` path substituted
     with each of ``values``; ``None`` runs the template unchanged once per
     value (useful for single-point "table" results).
+
+    ``parameter`` may also be a *tuple of paths*, in which case every value
+    is a tuple of the same arity substituted path-by-path — the shape for
+    coupled sweeps where a secondary parameter derives from the primary one
+    (e.g. Figure 5's request volume and day length, both functions of the
+    network size). The first path's component is the figure's x value.
     """
 
     experiment: ExperimentSpec
-    parameter: "str | None" = None
+    parameter: "str | tuple[str, ...] | None" = None
     values: tuple = ("total cost",)
     runs: int = 5
     seed: int = 0
@@ -414,27 +570,75 @@ class SweepSpec:
             raise ValueError("SweepSpec needs at least one value")
         if self.runs < 1:
             raise ValueError(f"runs must be >= 1, got {self.runs}")
-        if self.parameter in ("seed", "name"):
-            # Replicate randomness derives from SweepSpec.seed via
-            # SeedSequence children, not ExperimentSpec.seed — substituting
-            # either field would be a silent no-op on the results.
-            raise ValueError(
-                f"parameter {self.parameter!r} cannot be swept: per-replicate "
-                "seeding is controlled by SweepSpec.seed"
-            )
+        if isinstance(self.parameter, (list, tuple)):
+            paths = tuple(str(p) for p in self.parameter)
+            if not paths:
+                raise ValueError(
+                    "SweepSpec.parameter tuple must name at least one path"
+                )
+            object.__setattr__(self, "parameter", paths)
+            for value in self.values:
+                if not isinstance(value, tuple) or len(value) != len(paths):
+                    raise ValueError(
+                        f"sweep value {value!r} does not match the "
+                        f"{len(paths)} swept paths {paths}"
+                    )
+        for path in self.parameter_paths:
+            if path in ("seed", "name"):
+                # Replicate randomness derives from SweepSpec.seed via
+                # SeedSequence children, not ExperimentSpec.seed —
+                # substituting either field would be a silent no-op on the
+                # results.
+                raise ValueError(
+                    f"parameter {path!r} cannot be swept: per-replicate "
+                    "seeding is controlled by SweepSpec.seed"
+                )
         if self.parameter is not None:
             # Surface bad paths at spec-build time, not mid-sweep.
-            self.experiment.with_param(self.parameter, self.values[0])
+            self.experiment_at(self.values[0])
+
+    @property
+    def parameter_paths(self) -> "tuple[str, ...]":
+        """The swept paths: ``()``, one path, or the coupled-path tuple."""
+        if self.parameter is None:
+            return ()
+        if isinstance(self.parameter, str):
+            return (self.parameter,)
+        return self.parameter
 
     def experiment_at(self, x: Any) -> ExperimentSpec:
         """The concrete replicate spec for sweep-point value ``x``."""
         if self.parameter is None:
             return self.experiment
-        return self.experiment.with_param(self.parameter, x)
+        if isinstance(self.parameter, str):
+            return self.experiment.with_param(self.parameter, x)
+        components = tuple(x)
+        if len(components) != len(self.parameter):
+            raise ValueError(
+                f"sweep value {x!r} does not match the swept paths "
+                f"{self.parameter}"
+            )
+        spec = self.experiment
+        for path, component in zip(self.parameter, components):
+            spec = spec.with_param(path, component)
+        return spec
+
+    def display_x(self, x: Any) -> Any:
+        """The figure-facing x value for sweep point ``x``.
+
+        Coupled sweeps carry tuples internally; the first path's component
+        (the primary parameter) is what the figure plots.
+        """
+        if isinstance(self.parameter, tuple):
+            return x[0]
+        return x
 
     def resolved_x_label(self) -> str:
         """The x-axis label: explicit, else the swept parameter, else 'metric'."""
-        return self.x_label or (self.parameter or "metric")
+        if self.x_label:
+            return self.x_label
+        paths = self.parameter_paths
+        return paths[0] if paths else "metric"
 
     def resolved_title(self) -> str:
         """The title: explicit, else derived from the components swept."""
@@ -444,15 +648,16 @@ class SweepSpec:
             f"{'/'.join(p.label or p.kind for p in self.experiment.policies)} on "
             f"{self.experiment.scenario.kind}@{self.experiment.topology.kind}"
         )
-        if self.parameter is None:
+        paths = self.parameter_paths
+        if not paths:
             return subject
-        return f"{subject} vs {self.parameter}"
+        return f"{subject} vs {paths[0]}"
 
     def to_dict(self) -> dict:
         """Plain JSON-safe dict form."""
         return {
             "experiment": self.experiment.to_dict(),
-            "parameter": self.parameter,
+            "parameter": _jsonable(self.parameter),
             "values": _jsonable(self.values),
             "runs": self.runs,
             "seed": self.seed,

@@ -11,13 +11,20 @@ Two modes:
       python -m repro.experiments --list
 
 * **declarative runs** — compose any registered policy/scenario/topology
-  triple without writing code::
+  triple (plus derived metrics) without writing code::
 
       python -m repro.experiments run --policy onth --scenario commuter \\
           --topology erdos_renyi:n=200 --horizon 200
       python -m repro.experiments run --policy onth --policy onbr \\
           --topology erdos_renyi:n=100 --sweep scenario.sojourn=5,10,20 \\
           --runs 5 --workers 4 --json
+      python -m repro.experiments run --policy onth --topology line:n=5 \\
+          --metric cost_ratio_vs:reference=OPT --sweep scenario.sojourn=2,5
+
+* **inventory** — print every registered component with its parameters::
+
+      python -m repro.experiments list
+      python -m repro.experiments list metrics
 
 Quick scale shrinks network sizes, horizons and run counts to keep any
 single figure under roughly a minute while preserving its qualitative
@@ -25,7 +32,10 @@ shape; ``--paper`` uses the caption parameters registered next to each
 figure function. ``--workers N`` fans sweep replicates out over N processes
 (results are bit-identical to the serial run), ``--runs`` overrides the
 replicate count at any scale and ``--json`` emits the machine-readable
-result including the resolved spec.
+result including the resolved spec. ``--cache-dir DIR`` memoizes sweep
+results on disk keyed on the spec (``--no-cache`` bypasses an enabled
+cache); a re-run with an identical spec returns the stored result without
+simulating.
 """
 
 from __future__ import annotations
@@ -38,10 +48,17 @@ import time
 
 import numpy as np
 
+from repro.api.cache import ResultCache
 from repro.api.execution import ProcessPoolBackend
 from repro.api.registry import (
     FIGURES,
+    METRICS,
+    POLICIES,
+    SCENARIOS,
+    TOPOLOGIES,
+    FigureEntry,
     UnknownNameError,
+    list_metrics,
     list_policies,
     list_scenarios,
     list_topologies,
@@ -50,6 +67,7 @@ from repro.api.registry import (
 from repro.api.specs import (
     CostSpec,
     ExperimentSpec,
+    MetricSpec,
     PolicySpec,
     ScenarioSpec,
     SweepSpec,
@@ -84,6 +102,27 @@ def _worker_count(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _cache_for(args) -> "ResultCache | None":
+    """The result cache selected by ``--cache-dir`` / ``--no-cache``."""
+    if getattr(args, "no_cache", False) or not getattr(args, "cache_dir", None):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "memoize sweep results on disk under DIR, keyed on the spec; "
+            "an identical re-run loads instead of simulating"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass --cache-dir (force a fresh simulation, store nothing)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list available figure ids"
     )
+    _add_cache_flags(parser)
     return parser
 
 
@@ -156,6 +196,14 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--topology", default="erdos_renyi:n=100", metavar="KIND[:PARAMS]",
         help=f"substrate topology; known: {', '.join(list_topologies())}",
+    )
+    parser.add_argument(
+        "--metric", action="append", default=None, metavar="KIND[:PARAMS]",
+        help=(
+            "derived result metric (repeatable; default: total_cost per "
+            "policy); the reserved param 'label' renames/prefixes the "
+            f"series; known: {', '.join(list_metrics())}"
+        ),
     )
     parser.add_argument("--horizon", type=int, default=500, help="rounds to simulate")
     parser.add_argument(
@@ -199,6 +247,7 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--plot", action="store_true", help="also render an ASCII chart"
     )
+    _add_cache_flags(parser)
     return parser
 
 
@@ -206,6 +255,8 @@ def main(argv: "list[str] | None" = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "run":
         return run_command(argv[1:])
+    if argv and argv[0] == "list":
+        return list_command(argv[1:])
 
     args = build_parser().parse_args(argv)
 
@@ -258,6 +309,7 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
         ("seed", "seed", args.seed),
         ("runs", "runs", args.runs),
         ("backend", "workers", _backend_for(args.workers)),
+        ("cache", "cache-dir", _cache_for(args)),
     ):
         if value is None:
             continue
@@ -275,7 +327,7 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
             print("note: --plot is ignored with --json", file=sys.stderr)
         payload = result.to_dict()
         payload["params"] = {
-            k: v for k, v in kwargs.items() if k != "backend"
+            k: v for k, v in kwargs.items() if k not in ("backend", "cache")
         }
         payload["elapsed_seconds"] = round(elapsed, 3)
         if emit_json:
@@ -342,6 +394,12 @@ def spec_from_args(args) -> SweepSpec:
         # be disambiguated from the CLI: --policy onth:cache_size=5,label=ONTH-5
         label = params.pop("label", None)
         policies.append(PolicySpec(kind, params, label=label))
+    metrics = []
+    for item in args.metric or ():
+        kind, params = parse_component(item)
+        # same reserved param as --policy: label renames/prefixes the series
+        label = params.pop("label", None)
+        metrics.append(MetricSpec(kind, params, label=label))
     topo_kind, topo_params = parse_component(args.topology)
     scen_kind, scen_params = parse_component(args.scenario)
     experiment = ExperimentSpec(
@@ -359,6 +417,7 @@ def spec_from_args(args) -> SweepSpec:
         horizon=args.horizon,
         routing=args.routing,
         seed=args.seed,
+        **({"metrics": tuple(metrics)} if metrics else {}),
     )
     parameter, values = (None, ("total cost",))
     if args.sweep:
@@ -381,26 +440,40 @@ def run_command(argv: "list[str]") -> int:
     try:
         spec = spec_from_args(args)
         # Build every sweep point's components up front (substrate, scenario,
-        # policies — everything but the simulation) so typos and bad values
-        # anywhere in --sweep fail fast with a one-line message instead of a
-        # traceback after earlier points already ran. The sweep itself runs
-        # outside this guard: a mid-simulation exception is a library bug
-        # and should surface with its full traceback.
+        # policies, metrics — everything but the simulation) so typos and bad
+        # values anywhere in --sweep fail fast with a one-line message
+        # instead of a traceback after earlier points already ran. The sweep
+        # itself runs outside this guard: a mid-simulation exception is a
+        # library bug and should surface with its full traceback.
         substrate = None
-        topology_swept = (spec.parameter or "").startswith("topology.")
+        topology_swept = any(
+            path.startswith("topology.") for path in spec.parameter_paths
+        )
         for value in spec.values:
             probe = spec.experiment_at(value)
             if substrate is None or topology_swept:
                 substrate = probe.topology.build(np.random.default_rng(spec.seed))
             probe.scenario.build(substrate)
             resolve_series_labels(probe)
+        for metric in spec.experiment.metrics:
+            # Resolve the kind and check the parameter names against the
+            # metric's signature (the leading placeholder stands in for the
+            # evaluation context).
+            inspect.signature(metric.resolve()).bind(None, **metric.params)
     except (UnknownNameError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    cache = _cache_for(args)
     started = time.perf_counter()
-    result = run_sweep(spec, backend=_backend_for(args.workers))
+    result = run_sweep(spec, backend=_backend_for(args.workers), cache=cache)
     elapsed = time.perf_counter() - started
+    if cache is not None:
+        status = "hit" if cache.hits else "miss"
+        print(
+            f"cache {status} {cache.key_for(spec)[:12]} in {cache.root}",
+            file=sys.stderr,
+        )
 
     if args.json:
         if args.plot:
@@ -417,6 +490,83 @@ def run_command(argv: "list[str]") -> int:
         print()
         print(render_figure_chart(result))
     print(f"  ({elapsed:.1f}s, backend={'serial' if not args.workers or args.workers <= 1 else f'{args.workers} workers'})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# The `list` subcommand: the full component inventory
+# ---------------------------------------------------------------------------
+
+#: family name -> (registry, drop the leading parameter from signatures?).
+#: Scenario factories take the substrate first and metrics the evaluation
+#: context — neither is a user-settable parameter.
+_FAMILIES = {
+    "policies": (POLICIES, False),
+    "scenarios": (SCENARIOS, True),
+    "topologies": (TOPOLOGIES, False),
+    "figures": (FIGURES, False),
+    "metrics": (METRICS, True),
+}
+
+
+def _entry_target(entry):
+    """The callable behind a registry entry (figures wrap theirs)."""
+    return entry.fn if isinstance(entry, FigureEntry) else entry
+
+
+def _entry_signature(entry, drop_first: bool) -> str:
+    """A printable parameter signature for one registry entry."""
+    try:
+        signature = inspect.signature(_entry_target(entry))
+    except (TypeError, ValueError):
+        return "(...)"
+    parameters = list(signature.parameters.values())
+    if drop_first and parameters:
+        parameters = parameters[1:]
+    return str(
+        signature.replace(
+            parameters=parameters, return_annotation=inspect.Signature.empty
+        )
+    )
+
+
+def _entry_doc(entry) -> str:
+    """The first docstring line of one registry entry (may be empty)."""
+    doc = (inspect.getdoc(_entry_target(entry)) or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def build_list_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments list",
+        description=(
+            "List every registered policy/scenario/topology/figure/metric "
+            "with its parameter signature."
+        ),
+    )
+    parser.add_argument(
+        "family",
+        nargs="?",
+        choices=tuple(_FAMILIES),
+        help="restrict the inventory to one component family",
+    )
+    return parser
+
+
+def list_command(argv: "list[str]") -> int:
+    """Entry point of ``python -m repro.experiments list ...``."""
+    args = build_list_parser().parse_args(argv)
+    selected = (args.family,) if args.family else tuple(_FAMILIES)
+    for position, family in enumerate(selected):
+        registry, drop_first = _FAMILIES[family]
+        if position:
+            print()
+        print(f"{family}:")
+        for name, entry in registry.items():
+            print(f"  {name}{_entry_signature(entry, drop_first)}")
+            doc = _entry_doc(entry)
+            if doc:
+                print(f"      {doc}")
     return 0
 
 

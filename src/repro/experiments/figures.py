@@ -40,13 +40,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms import OffStat, OnBR, OnTH, Opt
-from repro.analysis.competitive import cost_ratio
+from repro.algorithms import OffStat, OnBR, OnTH
 from repro.api.experiment import run_sweep
 from repro.api.registry import register_figure
 from repro.api.specs import (
     CostSpec,
     ExperimentSpec,
+    MetricSpec,
     PolicySpec,
     ScenarioSpec,
     SweepSpec,
@@ -56,8 +56,7 @@ from repro.core.costs import CostModel
 from repro.core.load import LinearLoad, QuadraticLoad
 from repro.core.simulator import simulate
 from repro.experiments.runner import FigureResult, sweep_experiment
-from repro.topology.generators import erdos_renyi, line
-from repro.topology.rocketfuel import att_like_topology
+from repro.topology.generators import erdos_renyi
 from repro.topology.substrate import Substrate
 from repro.workload.base import Trace, generate_trace
 from repro.workload.commuter import CommuterScenario, default_period_for
@@ -94,10 +93,16 @@ _ONLINE_TRIO = (
     PolicySpec("onbr-dyn", label="ONBR-dyn"),
 )
 
+#: The OPT-vs-policy metric of the ratio figures (11, 15-19).
+_OPT_RATIO = (MetricSpec("cost_ratio_vs", {"reference": "OPT"}),)
 
-def _opt_line(n: int, rng: np.random.Generator) -> Substrate:
-    """The line substrate used by all OPT-based figures."""
-    return line(n, seed=rng, unit_latency=False, latency_range=_LINE_LATENCIES)
+
+def _line_topology(n: int) -> TopologySpec:
+    """The line substrate of all OPT-based figures, as a spec."""
+    return TopologySpec(
+        "line",
+        {"n": int(n), "unit_latency": False, "latency_range": _LINE_LATENCIES},
+    )
 
 
 def _commuter_trace(
@@ -134,22 +139,6 @@ def _timezone_trace(
         requests_per_round=requests_per_round,
     )
     return generate_trace(scenario, horizon, rng)
-
-
-def _online_trio(
-    substrate: Substrate,
-    trace: Trace,
-    costs: CostModel,
-    rng: np.random.Generator,
-) -> dict[str, float]:
-    """Total costs of ONTH / ONBR-fixed / ONBR-dyn on one shared trace."""
-    return {
-        "ONTH": simulate(substrate, OnTH(), trace, costs, seed=rng).total_cost,
-        "ONBR-fixed": simulate(substrate, OnBR(), trace, costs, seed=rng).total_cost,
-        "ONBR-dyn": simulate(
-            substrate, OnBR(dynamic_threshold=True), trace, costs, seed=rng
-        ).total_cost,
-    }
 
 
 # ---------------------------------------------------------------------------
@@ -278,6 +267,7 @@ def figure03(
     runs: int = 5,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Algorithm cost vs network size, commuter scenario with dynamic load."""
     return run_sweep(
@@ -286,6 +276,7 @@ def figure03(
             True, sizes, horizon, sojourn, runs, seed,
         ),
         backend=backend,
+        cache=cache,
     )
 
 
@@ -299,6 +290,7 @@ def figure04(
     runs: int = 5,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Like Figure 3, but with static load."""
     return run_sweep(
@@ -307,6 +299,7 @@ def figure04(
             False, sizes, horizon, sojourn, runs, seed,
         ),
         backend=backend,
+        cache=cache,
     )
 
 
@@ -320,6 +313,7 @@ def figure05(
     runs: int = 5,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Like Figure 3, but for the time zone scenario.
 
@@ -327,25 +321,32 @@ def figure05(
     per ten nodes, at least ten) — constant per-user demand with more users
     on bigger networks, so the size sweep is apples-to-apples with the
     commuter variants whose volume also grows with ``n`` (DESIGN.md §3).
-    The size-coupled volume keeps this figure on a closure replicate rather
-    than a spec (a spec parameter cannot derive from the built substrate).
+    The size-coupled volume and day length ride along as a coupled sweep:
+    each point substitutes (n, requests/round, T) together.
     """
-    costs = CostModel.paper_default()
-
-    def replicate(n, rng):
-        substrate = erdos_renyi(int(n), seed=rng)
-        trace = _timezone_trace(
-            substrate, horizon, sojourn, rng,
-            requests_per_round=max(10, substrate.n // 10),
-        )
-        return _online_trio(substrate, trace, costs, rng)
-
-    return sweep_experiment(
-        "fig05", "cost vs network size, time zone scenario",
-        "network size", sizes, replicate, runs=runs, seed=seed,
+    spec = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=TopologySpec("erdos_renyi"),
+            scenario=ScenarioSpec("timezones", {"sojourn": sojourn}),
+            policies=_ONLINE_TRIO,
+            costs=CostSpec.paper_default(),
+            horizon=horizon,
+        ),
+        parameter=(
+            "topology.n", "scenario.requests_per_round", "scenario.period",
+        ),
+        values=tuple(
+            (int(n), max(10, int(n) // 10), default_period_for(int(n)))
+            for n in sizes
+        ),
+        runs=runs,
+        seed=seed,
+        figure="fig05",
+        title="cost vs network size, time zone scenario",
+        x_label="network size",
         notes="paper: ONTH below both ONBR variants; T grows with n",
-        backend=backend,
     )
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 @register_figure(
@@ -358,28 +359,36 @@ def figure06(
     runs: int = 5,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """ONBR cost breakdown vs network size in the β=400 > c=40 regime."""
-    costs = CostModel.migration_expensive()
-
-    def replicate(n, rng):
-        substrate = erdos_renyi(int(n), seed=rng)
-        trace = _commuter_trace(substrate, horizon, sojourn, True, rng)
-        result = simulate(substrate, OnBR(), trace, costs, seed=rng)
-        parts = result.breakdown
-        return {
-            "access": parts.access,
-            "running": parts.running,
-            "migration+creation": parts.migration + parts.creation,
-            "total": parts.total,
-        }
-
-    return sweep_experiment(
-        "fig06", "ONBR cost components vs network size (β > c)",
-        "network size", sizes, replicate, runs=runs, seed=seed,
+    spec = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=TopologySpec("erdos_renyi"),
+            scenario=ScenarioSpec(
+                "commuter", {"sojourn": sojourn, "dynamic_load": True}
+            ),
+            policies=(PolicySpec("onbr"),),
+            costs=CostSpec.migration_expensive(),
+            horizon=horizon,
+            metrics=(
+                MetricSpec(
+                    "cost_breakdown",
+                    {"parts": ("access", "running", "migration+creation",
+                               "total")},
+                ),
+            ),
+        ),
+        parameter="topology.n",
+        values=tuple(int(n) for n in sizes),
+        runs=runs,
+        seed=seed,
+        figure="fig06",
+        title="ONBR cost components vs network size (β > c)",
+        x_label="network size",
         notes="paper: access cost dominates and grows with n",
-        backend=backend,
     )
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -399,6 +408,7 @@ def figure07(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Cost vs T in the commuter scenario with static load."""
     spec = SweepSpec(
@@ -420,7 +430,7 @@ def figure07(
         x_label="T",
         notes="paper: cost rises slightly with T; ONTH best throughout",
     )
-    return run_sweep(spec, backend=backend)
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 def _lambda_sweep(
@@ -464,6 +474,7 @@ def figure08(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with dynamic load."""
     spec = _lambda_sweep(
@@ -471,7 +482,7 @@ def figure08(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": True}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend)
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 @register_figure(
@@ -485,6 +496,7 @@ def figure09(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with static load."""
     spec = _lambda_sweep(
@@ -492,7 +504,7 @@ def figure09(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend)
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 @register_figure(
@@ -506,6 +518,7 @@ def figure10(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Cost vs λ, time zone scenario with p = 50%."""
     spec = _lambda_sweep(
@@ -513,7 +526,7 @@ def figure10(
         ScenarioSpec("timezones", {"period": period}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend)
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -530,41 +543,52 @@ def figure11(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Competitive ratio of ONTH against OPT as a function of λ.
 
     Run on line graphs (the paper constrains OPT experiments to those) for
-    all three demand scenarios.
+    all three demand scenarios: one spec with three ONTH entries, two of
+    them overriding the base scenario, all ratioed against OPT by the
+    ``cost_ratio_vs`` metric. Sweeping ``scenario.sojourn`` moves every
+    scenario's λ in lockstep.
     """
-    costs = CostModel.paper_default()
-
-    def replicate(lam, rng):
-        substrate = _opt_line(n, rng)
-        traces = {
-            "commuter dynamic": _commuter_trace(
-                substrate, horizon, int(lam), True, rng, period=period
+    spec = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=_line_topology(n),
+            scenario=ScenarioSpec("commuter", {"period": period}),
+            policies=(
+                PolicySpec("onth", label="commuter dynamic"),
+                PolicySpec(
+                    "onth",
+                    label="commuter static",
+                    scenario=ScenarioSpec(
+                        "commuter", {"period": period, "dynamic_load": False}
+                    ),
+                ),
+                PolicySpec(
+                    "onth",
+                    label="time zones",
+                    scenario=ScenarioSpec(
+                        "timezones",
+                        {"period": period, "requests_per_round": 3},
+                    ),
+                ),
             ),
-            "commuter static": _commuter_trace(
-                substrate, horizon, int(lam), False, rng, period=period
-            ),
-            "time zones": _timezone_trace(
-                substrate, horizon, int(lam), rng, period=period,
-                requests_per_round=3,
-            ),
-        }
-        out = {}
-        for label, trace in traces.items():
-            onth = simulate(substrate, OnTH(), trace, costs, seed=rng)
-            opt_cost, _ = Opt.solve(substrate, trace, costs)
-            out[label] = cost_ratio(onth.total_cost, opt_cost)
-        return out
-
-    return sweep_experiment(
-        "fig11", "ONTH/OPT competitive ratio vs λ (line graph)",
-        "λ", lambdas, replicate, runs=runs, seed=seed,
+            costs=CostSpec.paper_default(),
+            horizon=horizon,
+            metrics=_OPT_RATIO,
+        ),
+        parameter="scenario.sojourn",
+        values=tuple(int(lam) for lam in lambdas),
+        runs=runs,
+        seed=seed,
+        figure="fig11",
+        title="ONTH/OPT competitive ratio vs λ (line graph)",
+        x_label="λ",
         notes="paper: ratios fairly low; commuter static peaks at intermediate λ",
-        backend=backend,
     )
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -608,21 +632,21 @@ def figure12(
 # ---------------------------------------------------------------------------
 
 
-def _offstat_and_opt(
-    substrate: Substrate,
-    trace: Trace,
-    costs: CostModel,
-    rng: np.random.Generator,
-) -> tuple[float, float]:
-    offstat = simulate(substrate, OffStat(), trace, costs, seed=rng)
-    opt_cost, _ = Opt.solve(substrate, trace, costs)
-    return offstat.total_cost, opt_cost
+#: The two cost regimes of the OFFSTAT/OPT ratio figures, on one shared
+#: trace per replicate: OFFSTAT under β<c and under β>c, each ratioed
+#: against OPT solved under the same regime.
+_REGIME_PAIR = (
+    PolicySpec("offstat", label="β<c"),
+    PolicySpec(
+        "offstat", label="β>c", costs=CostSpec.migration_expensive()
+    ),
+)
 
 
 def _absolute_vs_lambda(
     figure: str,
     title: str,
-    costs: CostModel,
+    costs: CostSpec,
     lambdas,
     n: int,
     period: int,
@@ -630,20 +654,30 @@ def _absolute_vs_lambda(
     runs: int,
     seed: int,
     backend=None,
+    cache=None,
 ) -> FigureResult:
-    def replicate(lam, rng):
-        substrate = _opt_line(n, rng)
-        trace = _commuter_trace(
-            substrate, horizon, int(lam), True, rng, period=period
-        )
-        offstat_cost, opt_cost = _offstat_and_opt(substrate, trace, costs, rng)
-        return {"OFFSTAT": offstat_cost, "OPT": opt_cost}
-
-    return sweep_experiment(
-        figure, title, "λ", lambdas, replicate, runs=runs, seed=seed,
+    spec = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=_line_topology(n),
+            scenario=ScenarioSpec("commuter", {"period": period}),
+            policies=(PolicySpec("offstat", label="OFFSTAT"),),
+            costs=costs,
+            horizon=horizon,
+            metrics=(
+                MetricSpec("total_cost"),
+                MetricSpec("reference_cost", {"reference": "OPT"}),
+            ),
+        ),
+        parameter="scenario.sojourn",
+        values=tuple(int(lam) for lam in lambdas),
+        runs=runs,
+        seed=seed,
+        figure=figure,
+        title=title,
+        x_label="λ",
         notes="paper: absolute cost falls as dynamics slow (larger λ)",
-        backend=backend,
     )
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 @register_figure("fig13", quick=dict(runs=5))
@@ -655,12 +689,13 @@ def figure13(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Absolute OFFSTAT and OPT costs vs λ, commuter dynamic load, β < c."""
     return _absolute_vs_lambda(
         "fig13", "OFFSTAT vs OPT absolute cost (β=40 < c=400)",
-        CostModel.paper_default(), lambdas, n, period, horizon, runs, seed,
-        backend=backend,
+        CostSpec.paper_default(), lambdas, n, period, horizon, runs, seed,
+        backend=backend, cache=cache,
     )
 
 
@@ -673,12 +708,13 @@ def figure14(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Like Figure 13 with β = 400 > c = 40."""
     return _absolute_vs_lambda(
         "fig14", "OFFSTAT vs OPT absolute cost (β=400 > c=40)",
-        CostModel.migration_expensive(), lambdas, n, period, horizon, runs, seed,
-        backend=backend,
+        CostSpec.migration_expensive(), lambdas, n, period, horizon, runs,
+        seed, backend=backend, cache=cache,
     )
 
 
@@ -686,33 +722,37 @@ def _ratio_sweep(
     figure: str,
     title: str,
     x_label: str,
-    x_values,
-    trace_builder,
+    parameter: str,
+    values,
+    scenario: ScenarioSpec,
     n: int,
     horizon: int,
     runs: int,
     seed: int,
     notes: str,
     backend=None,
+    cache=None,
 ) -> FigureResult:
-    regimes = {
-        "β<c": CostModel.paper_default(),
-        "β>c": CostModel.migration_expensive(),
-    }
-
-    def replicate(x, rng):
-        substrate = _opt_line(n, rng)
-        trace = trace_builder(substrate, horizon, x, rng)
-        out = {}
-        for label, costs in regimes.items():
-            offstat_cost, opt_cost = _offstat_and_opt(substrate, trace, costs, rng)
-            out[label] = cost_ratio(offstat_cost, opt_cost)
-        return out
-
-    return sweep_experiment(
-        figure, title, x_label, x_values, replicate, runs=runs, seed=seed,
-        notes=notes, backend=backend,
+    """The OFFSTAT/OPT two-regime ratio figures (15-19) as one spec each."""
+    spec = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=_line_topology(n),
+            scenario=scenario,
+            policies=_REGIME_PAIR,
+            costs=CostSpec.paper_default(),
+            horizon=horizon,
+            metrics=_OPT_RATIO,
+        ),
+        parameter=parameter,
+        values=values,
+        runs=runs,
+        seed=seed,
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        notes=notes,
     )
+    return run_sweep(spec, backend=backend, cache=cache)
 
 
 @register_figure("fig15", quick=dict(runs=5))
@@ -724,14 +764,16 @@ def figure15(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter dynamic load."""
     return _ratio_sweep(
-        "fig15", "OFFSTAT/OPT vs λ, commuter dynamic load", "λ", lambdas,
-        lambda s, h, lam, rng: _commuter_trace(s, h, int(lam), True, rng, period=period),
+        "fig15", "OFFSTAT/OPT vs λ, commuter dynamic load", "λ",
+        "scenario.sojourn", tuple(int(lam) for lam in lambdas),
+        ScenarioSpec("commuter", {"period": period}),
         n, horizon, runs, seed,
         "paper: benefit of flexibility peaks (≈2x) at moderate dynamics",
-        backend=backend,
+        backend=backend, cache=cache,
     )
 
 
@@ -744,14 +786,16 @@ def figure16(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter static load."""
     return _ratio_sweep(
-        "fig16", "OFFSTAT/OPT vs λ, commuter static load", "λ", lambdas,
-        lambda s, h, lam, rng: _commuter_trace(s, h, int(lam), False, rng, period=period),
+        "fig16", "OFFSTAT/OPT vs λ, commuter static load", "λ",
+        "scenario.sojourn", tuple(int(lam) for lam in lambdas),
+        ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
         n, horizon, runs, seed,
         "paper: β<c ≈1.2 flat then →1; β>c up to ≈2 at intermediate λ",
-        backend=backend,
+        backend=backend, cache=cache,
     )
 
 
@@ -764,17 +808,17 @@ def figure17(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, time zones with 3 requests/round."""
     return _ratio_sweep(
-        "fig17", "OFFSTAT/OPT vs λ, time zones (3 req/round)", "λ", lambdas,
-        lambda s, h, lam, rng: _timezone_trace(
-            s, h, int(lam), rng, period=period, requests_per_round=3
-        ),
+        "fig17", "OFFSTAT/OPT vs λ, time zones (3 req/round)", "λ",
+        "scenario.sojourn", tuple(int(lam) for lam in lambdas),
+        ScenarioSpec("timezones", {"period": period, "requests_per_round": 3}),
         n, horizon, runs, seed,
         "paper: ratio rises quickly for small λ then declines ~linearly; "
         "β<c similar to β>c",
-        backend=backend,
+        backend=backend, cache=cache,
     )
 
 
@@ -787,14 +831,16 @@ def figure18(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter dynamic load."""
     return _ratio_sweep(
-        "fig18", "OFFSTAT/OPT vs T, commuter dynamic load", "T", periods,
-        lambda s, h, T, rng: _commuter_trace(s, h, sojourn, True, rng, period=int(T)),
+        "fig18", "OFFSTAT/OPT vs T, commuter dynamic load", "T",
+        "scenario.period", tuple(int(T) for T in periods),
+        ScenarioSpec("commuter", {"sojourn": sojourn}),
         n, horizon, runs, seed,
         "paper: ratio grows with T; β>c benefits more from flexibility",
-        backend=backend,
+        backend=backend, cache=cache,
     )
 
 
@@ -807,20 +853,26 @@ def figure19(
     runs: int = 10,
     seed: int = DEFAULT_SEED,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter static load."""
     return _ratio_sweep(
-        "fig19", "OFFSTAT/OPT vs T, commuter static load", "T", periods,
-        lambda s, h, T, rng: _commuter_trace(s, h, sojourn, False, rng, period=int(T)),
+        "fig19", "OFFSTAT/OPT vs T, commuter static load", "T",
+        "scenario.period", tuple(int(T) for T in periods),
+        ScenarioSpec("commuter", {"sojourn": sojourn, "dynamic_load": False}),
         n, horizon, runs, seed,
         "paper: as Figure 18 but static load",
-        backend=backend,
+        backend=backend, cache=cache,
     )
 
 
 # ---------------------------------------------------------------------------
 # The Rocketfuel AS-7018 experiment (§V-B closing paragraph)
 # ---------------------------------------------------------------------------
+
+
+_ROCKETFUEL_TITLE = "Rocketfuel AS-7018 (AT&T-like) totals, time zone scenario"
+_ROCKETFUEL_NOTES = "paper: OFFSTAT 26063.8 < ONTH 44176.3 (<2x) < ONBR 111470.3"
 
 
 @register_figure("rocketfuel", quick=dict(horizon=400, runs=2))
@@ -833,6 +885,7 @@ def rocketfuel_table(
     seed: int = DEFAULT_SEED,
     substrate: "Substrate | None" = None,
     backend=None,
+    cache=None,
 ) -> FigureResult:
     """Total costs of OFFSTAT, ONTH and ONBR on the AT&T-like topology.
 
@@ -840,24 +893,63 @@ def rocketfuel_table(
     (a factor < 2 above OFFSTAT), ONBR 111470.3. We check the ordering and
     the <2x ONTH/OFFSTAT gap; absolute values differ because the real map
     and the paper's request volume are unpublished (DESIGN.md §3).
+
+    ``substrate`` injects a custom topology object — which cannot be
+    expressed as spec data, so that path runs (and stays cached-off) as an
+    inline sweep; the default AT&T-like run is a pure :class:`SweepSpec`.
     """
-    costs = CostModel(migration=40.0, creation=400.0, run_active=2.5, run_inactive=0.5)
-    topo = substrate if substrate is not None else att_like_topology()
-
-    def replicate(_x, rng):
-        trace = _timezone_trace(
-            topo, horizon, sojourn, rng, period=period,
-            requests_per_round=requests_per_round, hotspot_share=0.5,
+    if substrate is not None:
+        costs = CostModel(
+            migration=40.0, creation=400.0, run_active=2.5, run_inactive=0.5
         )
-        return {
-            "OFFSTAT": simulate(topo, OffStat(), trace, costs, seed=rng).total_cost,
-            "ONTH": simulate(topo, OnTH(), trace, costs, seed=rng).total_cost,
-            "ONBR": simulate(topo, OnBR(), trace, costs, seed=rng).total_cost,
-        }
 
-    return sweep_experiment(
-        "tabR", "Rocketfuel AS-7018 (AT&T-like) totals, time zone scenario",
-        "metric", ["total cost"], replicate, runs=runs, seed=seed,
-        notes="paper: OFFSTAT 26063.8 < ONTH 44176.3 (<2x) < ONBR 111470.3",
-        backend=backend,
+        def replicate(_x, rng):
+            trace = _timezone_trace(
+                substrate, horizon, sojourn, rng, period=period,
+                requests_per_round=requests_per_round, hotspot_share=0.5,
+            )
+            return {
+                "OFFSTAT": simulate(
+                    substrate, OffStat(), trace, costs, seed=rng
+                ).total_cost,
+                "ONTH": simulate(
+                    substrate, OnTH(), trace, costs, seed=rng
+                ).total_cost,
+                "ONBR": simulate(
+                    substrate, OnBR(), trace, costs, seed=rng
+                ).total_cost,
+            }
+
+        return sweep_experiment(
+            "tabR", _ROCKETFUEL_TITLE, "metric", ["total cost"], replicate,
+            runs=runs, seed=seed, notes=_ROCKETFUEL_NOTES, backend=backend,
+        )
+
+    spec = SweepSpec(
+        experiment=ExperimentSpec(
+            # seed pinned so every replicate sees the same deterministic map
+            # (the closure built it once, outside the replicate loop).
+            topology=TopologySpec("att", {"seed": 7018}),
+            scenario=ScenarioSpec(
+                "timezones",
+                {"period": period, "sojourn": sojourn, "hotspot_share": 0.5,
+                 "requests_per_round": requests_per_round},
+            ),
+            policies=(
+                PolicySpec("offstat", label="OFFSTAT"),
+                PolicySpec("onth", label="ONTH"),
+                PolicySpec("onbr", label="ONBR"),
+            ),
+            costs=CostSpec(),  # β=40, c=400, Ra=2.5, Ri=0.5 — the defaults
+            horizon=horizon,
+        ),
+        parameter=None,
+        values=("total cost",),
+        runs=runs,
+        seed=seed,
+        figure="tabR",
+        title=_ROCKETFUEL_TITLE,
+        x_label="metric",
+        notes=_ROCKETFUEL_NOTES,
     )
+    return run_sweep(spec, backend=backend, cache=cache)

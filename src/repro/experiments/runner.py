@@ -158,9 +158,11 @@ def sweep_experiment(
     # serial sweep aborts at the offending replicate instead of burning the
     # rest of a long run first.
     expected: "set[str] | None" = None
+    hook_calls = 0
 
     def check_series(index: int, task: ReplicateTask, sample) -> None:
-        nonlocal expected
+        nonlocal expected, hook_calls
+        hook_calls += 1
         keys = set(sample)
         if expected is None:
             expected = keys
@@ -172,13 +174,18 @@ def sweep_experiment(
 
     samples = backend.run_replicates(replicate, tasks, on_result=check_series)
 
+    if hook_calls < len(tasks):
+        # Backstop for third-party backends that ignore (or partially
+        # invoke) on_result; skipped entirely when the hook already saw
+        # every result — no double validation pass on large serial sweeps.
+        for index, (task, sample) in enumerate(zip(tasks, samples)):
+            check_series(index, task, sample)
+
     collected: "dict[str, list[list[float]]]" = {}
     for i, x in enumerate(x_values):
         point_samples: dict[str, list[float]] = {}
         for j in range(runs):
             sample = samples[i * runs + j]
-            # Backstop for third-party backends that ignore on_result.
-            check_series(i * runs + j, tasks[i * runs + j], sample)
             for name, value in sample.items():
                 point_samples.setdefault(name, []).append(float(value))
         for name, values in point_samples.items():

@@ -1,0 +1,194 @@
+"""Tests for the spec-keyed result cache (repro.api.cache)."""
+
+import json
+
+import pytest
+
+from repro.api.cache import ResultCache
+from repro.api.execution import ExecutionBackend
+from repro.api.experiment import run_sweep
+from repro.api.specs import (
+    ExperimentSpec,
+    MetricSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+)
+
+
+def small_sweep(**overrides) -> SweepSpec:
+    defaults = dict(
+        experiment=ExperimentSpec(
+            topology=TopologySpec("erdos_renyi", {"n": 30}),
+            scenario=ScenarioSpec("commuter", {"period": 4}),
+            policies=(PolicySpec("onth", label="ONTH"),),
+            horizon=30,
+        ),
+        parameter="scenario.sojourn",
+        values=(2, 5),
+        runs=2,
+        seed=1,
+        figure="t",
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class ExplodingBackend(ExecutionBackend):
+    """Proof that a cache hit never re-simulates."""
+
+    def run_replicates(self, replicate, tasks, on_result=None):
+        raise AssertionError("cache hit should not execute any replicates")
+
+
+class TestKeys:
+    def test_key_is_stable_across_instances(self, tmp_path):
+        spec = small_sweep()
+        assert ResultCache(tmp_path).key_for(spec) == ResultCache(
+            tmp_path / "other"
+        ).key_for(spec)
+
+    def test_key_depends_on_every_spec_field(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key_for(small_sweep())
+        assert cache.key_for(small_sweep(runs=3)) != base
+        assert cache.key_for(small_sweep(seed=2)) != base
+        assert cache.key_for(small_sweep(values=(2, 6))) != base
+        richer = small_sweep(
+            experiment=ExperimentSpec(
+                topology=TopologySpec("erdos_renyi", {"n": 30}),
+                scenario=ScenarioSpec("commuter", {"period": 4}),
+                policies=(PolicySpec("onth", label="ONTH"),),
+                horizon=30,
+                metrics=(MetricSpec("per_round_average"),),
+            )
+        )
+        assert cache.key_for(richer) != base
+
+    def test_key_survives_spec_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        restored = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert cache.key_for(restored) == cache.key_for(spec)
+
+
+class TestLoadStore:
+    def test_miss_then_hit_round_trips_result(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        assert cache.load(spec) is None
+        result = run_sweep(spec, cache=cache)
+        assert cache.stores == 1
+        again = cache.load(spec)
+        assert again == result
+
+    def test_cached_run_sweep_skips_simulation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        result = run_sweep(spec, cache=cache)
+        cached = run_sweep(spec, backend=ExplodingBackend(), cache=cache)
+        assert cached == result
+        assert cache.hits == 1
+
+    def test_no_cache_means_no_files(self, tmp_path):
+        run_sweep(small_sweep())
+        assert not list(tmp_path.iterdir())
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        run_sweep(spec, cache=cache)
+        path = cache.path_for(spec)
+        path.write_text("{not json")
+        assert cache.load(spec) is None
+
+    def test_spec_mismatch_is_a_miss(self, tmp_path):
+        # A colliding or hand-edited entry must never be served.
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        run_sweep(spec, cache=cache)
+        path = cache.path_for(spec)
+        data = json.loads(path.read_text())
+        data["sweep"]["runs"] = 99
+        path.write_text(json.dumps(data))
+        assert cache.load(spec) is None
+
+    def test_code_edit_invalidates(self, tmp_path, monkeypatch):
+        # An editable install never bumps __version__; the source
+        # fingerprint must invalidate the key on code changes instead.
+        import repro.api.cache as cache_module
+
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        base = cache.key_for(spec)
+        edited = cache_module._code_fingerprint() + "-edited"
+        monkeypatch.setattr(cache_module, "_FINGERPRINT", edited)
+        assert cache.key_for(spec) != base
+
+    def test_version_change_invalidates(self, tmp_path, monkeypatch):
+        import repro
+
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        run_sweep(spec, cache=cache)
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert cache.load(spec) is None  # different key -> different path
+
+    def test_coupled_sweep_caches_display_x_values(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_sweep(
+            parameter=("topology.n", "scenario.sojourn"),
+            values=((30, 2), (40, 5)),
+        )
+        result = run_sweep(spec, cache=cache)
+        assert result.x_values == (30, 40)
+        assert run_sweep(spec, backend=ExplodingBackend(), cache=cache) == result
+
+
+class TestFigureCacheThreading:
+    def test_figure_function_accepts_cache(self, tmp_path):
+        from repro.experiments import figures
+
+        cache = ResultCache(tmp_path)
+        params = dict(sizes=(20, 30), horizon=30, sojourn=5, runs=1, seed=1)
+        first = figures.figure03(cache=cache, **params)
+        assert cache.stores == 1
+        second = figures.figure03(cache=cache, **params)
+        assert cache.hits == 1
+        assert second == first
+
+
+class TestCLICacheFlags:
+    def run_cli(self, extra):
+        from repro.experiments.__main__ import main
+
+        return main([
+            "run", "--policy", "onth", "--topology", "erdos_renyi:n=30",
+            "--horizon", "30", "--runs", "1", "--json", *extra,
+        ])
+
+    def test_second_invocation_hits_and_matches(self, tmp_path, capsys):
+        assert self.run_cli(["--cache-dir", str(tmp_path)]) == 0
+        first = capsys.readouterr()
+        assert "cache miss" in first.err
+        assert self.run_cli(["--cache-dir", str(tmp_path)]) == 0
+        second = capsys.readouterr()
+        assert "cache hit" in second.err
+        a, b = json.loads(first.out), json.loads(second.out)
+        a.pop("elapsed_seconds"), b.pop("elapsed_seconds")
+        assert a == b
+
+    def test_no_cache_bypasses(self, tmp_path, capsys):
+        assert self.run_cli(["--cache-dir", str(tmp_path), "--no-cache"]) == 0
+        assert "cache" not in capsys.readouterr().err
+        assert not list(tmp_path.iterdir())
+
+    def test_figure_mode_cache_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        argv = ["fig03", "--runs", "1", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert any(tmp_path.iterdir())  # the sweep was stored
+        assert main(argv) == 0  # second run loads from the cache

@@ -1,9 +1,33 @@
-"""Tests for the declarative CLI (`python -m repro.experiments run`) and the
-new --json/--runs/--workers flags of the figure-regeneration path."""
+"""Tests for the declarative CLI (`python -m repro.experiments run`), the
+`list` inventory subcommand and the --json/--runs/--workers flags of the
+figure-regeneration path."""
 
 import json
 
 from repro.experiments.__main__ import build_run_parser, main, spec_from_args
+
+
+class TestListCommand:
+    def test_lists_every_family(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("policies:", "scenarios:", "topologies:", "figures:",
+                       "metrics:"):
+            assert family in out
+        assert "onth(" in out
+        assert "cost_ratio_vs(" in out
+
+    def test_family_filter(self, capsys):
+        assert main(["list", "metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "policies:" not in out
+        assert "total_cost()" in out
+
+    def test_scenario_signatures_drop_substrate(self, capsys):
+        assert main(["list", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "substrate" not in out
+        assert "sojourn" in out
 
 
 class TestRunParser:
@@ -123,6 +147,59 @@ class TestRunCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "ONBR" in out and "ONBR-dyn" in out
+
+    def test_metric_flag_runs_derived_series(self, capsys):
+        rc = main([
+            "run", "--policy", "onth",
+            "--topology", "line:n=4,unit_latency=false",
+            "--scenario", "commuter:period=4",
+            "--metric", "cost_ratio_vs:reference=OPT",
+            "--horizon", "30", "--runs", "1", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["series"]["ONTH"][0] >= 1.0 - 1e-9
+        assert payload["spec"]["experiment"]["metrics"][0]["kind"] == (
+            "cost_ratio_vs"
+        )
+
+    def test_metric_label_param_reserved(self, capsys):
+        rc = main([
+            "run", "--policy", "onth",
+            "--topology", "line:n=4,unit_latency=false",
+            "--scenario", "commuter:period=4",
+            "--metric", "total_cost",
+            "--metric", "cost_ratio_vs:reference=OPT,label=ratio",
+            "--horizon", "20", "--runs", "1", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["series"]) == {"ONTH", "ratio"}
+
+    def test_unknown_metric_fails_with_suggestion(self, capsys):
+        rc = main([
+            "run", "--policy", "onth", "--metric", "total_cots",
+            "--topology", "erdos_renyi:n=20", "--horizon", "10", "--runs", "1",
+        ])
+        assert rc == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_bad_metric_param_fails_fast(self, capsys):
+        rc = main([
+            "run", "--policy", "onth", "--metric", "cost_ratio_vs:bogus=1",
+            "--topology", "erdos_renyi:n=20", "--horizon", "10", "--runs", "1",
+        ])
+        assert rc == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_colliding_metrics_fail_cleanly(self, capsys):
+        rc = main([
+            "run", "--policy", "onth", "--metric", "total_cost",
+            "--metric", "total_cost",
+            "--topology", "erdos_renyi:n=20", "--horizon", "10", "--runs", "1",
+        ])
+        assert rc == 2
+        assert "duplicate metrics" in capsys.readouterr().err
 
     def test_unknown_scenario_param_fails_cleanly(self, capsys):
         rc = main([
