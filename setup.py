@@ -44,7 +44,7 @@ setup(
         "scipy>=1.8",
     ],
     extras_require={
-        "test": ["pytest>=7"],
+        "test": ["pytest>=7", "pytest-cov>=4", "hypothesis>=6"],
     },
     entry_points={
         "console_scripts": [

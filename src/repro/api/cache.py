@@ -5,23 +5,46 @@ the computation, including replicate counts and the master seed, round-trips
 through ``spec.to_dict()`` — the spec dict is a complete cache key: two runs
 with equal spec dicts are guaranteed bit-identical (the execution backend
 provably does not affect results). :class:`ResultCache` exploits that to
-memoize :class:`~repro.experiments.runner.FigureResult`\\ s on disk:
+memoize results on disk at two granularities:
 
-    cache = ResultCache("~/.cache/repro-experiments")
-    result = run_sweep(spec, cache=cache)      # simulates, stores
-    again = run_sweep(spec, cache=cache)       # loads; again == result
+* **sweep entries** — a whole
+  :class:`~repro.experiments.runner.FigureResult`, keyed on the
+  :class:`~repro.api.specs.SweepSpec` (:meth:`~ResultCache.load` /
+  :meth:`~ResultCache.store`)::
 
-The key is a SHA-256 over the canonical (sorted-keys) JSON of the spec dict
-plus the package version, a fingerprint of the installed package's source
-files and a cache schema number — so upgrading the code, *editing* it in an
-editable install, or changing the storage format all invalidate stale
-entries instead of serving them.
+      cache = ResultCache("~/.cache/repro-experiments")
+      result = run_sweep(spec, cache=cache)      # simulates, stores
+      again = run_sweep(spec, cache=cache)       # loads; again == result
+
+* **point entries** — the raw per-replicate samples of a single sweep
+  point, keyed on the point's concrete :class:`ExperimentSpec` plus its
+  seed coordinates (:meth:`~ResultCache.load_point` /
+  :meth:`~ResultCache.store_point`). ``run_sweep`` probes these per point
+  and only recomputes the misses, which is what makes interrupted sweeps
+  resumable and ``--shard I/N`` fan-out possible: N processes fill disjoint
+  points of one shared cache directory, and a final pass assembles the
+  figure from the warm cache. A point's replicate seeds depend only on the
+  sweep seed and the point's task offset (see
+  :func:`~repro.experiments.runner.spawn_tasks`), so the entry records
+  ``(sweep_seed, spawn_start, runs)`` next to the experiment dict — the
+  complete provenance of the stored samples.
+
+Every key is a SHA-256 over the canonical (sorted-keys) JSON of the payload
+identity plus the package version, a fingerprint of the installed package's
+source files and a cache schema number — so upgrading the code, *editing*
+it in an editable install, or changing the storage format all invalidate
+stale entries instead of serving them.
 Entries live one JSON file per key, fanned out over two-hex-digit
 subdirectories, and each file carries the full spec dict for verification:
 a hash collision or hand-edited file is treated as a miss, never served.
 
 Writes are atomic (temp file + rename), so a crashed or parallel run cannot
-leave a truncated entry behind.
+leave a truncated entry behind; concurrent writers of the same key are
+last-writer-wins, and every reader sees a complete entry. The cache never
+prunes on its own — :meth:`~ResultCache.prune` (also
+``repro-experiments cache prune``) trims by age or entry count, and
+:meth:`~ResultCache.stats` / :meth:`~ResultCache.clear` round out the
+maintenance surface.
 """
 
 from __future__ import annotations
@@ -30,11 +53,12 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 if TYPE_CHECKING:
-    from repro.api.specs import SweepSpec
+    from repro.api.specs import ExperimentSpec, SweepSpec
     from repro.experiments.runner import FigureResult
 
 __all__ = ["ResultCache"]
@@ -78,8 +102,12 @@ class ResultCache:
         root: directory holding the entries (created on first store).
 
     Attributes:
-        hits/misses/stores: counters over this instance's lifetime — the CLI
-            reports them and tests assert a re-run did not re-simulate.
+        hits/misses/stores: sweep-entry counters over this instance's
+            lifetime — the CLI reports them and tests assert a re-run did
+            not re-simulate.
+        point_hits/point_misses/point_stores: the same counters for point
+            entries; ``point_hits`` is how many sweep points a resumed run
+            loaded instead of recomputing.
     """
 
     def __init__(self, root: "str | os.PathLike") -> None:
@@ -87,8 +115,28 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.point_hits = 0
+        self.point_misses = 0
+        self.point_stores = 0
 
     # -- keys -------------------------------------------------------------------
+
+    def _identity(self, **payload) -> dict:
+        """The environment half of every key: schema + version + code."""
+        import repro
+
+        return {
+            "schema": CACHE_SCHEMA,
+            "version": repro.__version__,
+            "code": _code_fingerprint(),
+            **payload,
+        }
+
+    @staticmethod
+    def _digest(payload: Mapping) -> str:
+        from repro.api.specs import canonical_key
+
+        return canonical_key(payload)
 
     def key_for(self, spec: "SweepSpec") -> str:
         """The stable cache key of ``spec``: SHA-256 of its canonical JSON.
@@ -97,21 +145,42 @@ class ResultCache:
         upgrades *and* in-place edits invalidate rather than replay stale
         results.
         """
-        import repro
+        return self._digest(self._identity(sweep=spec.to_dict()))
 
-        payload = {
-            "schema": CACHE_SCHEMA,
-            "version": repro.__version__,
-            "code": _code_fingerprint(),
-            "sweep": spec.to_dict(),
-        }
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    def key_for_point(
+        self,
+        experiment: "ExperimentSpec",
+        sweep_seed: int,
+        spawn_start: int,
+        runs: int,
+    ) -> str:
+        """The key of one sweep point's replicate samples.
+
+        ``experiment`` is the *concrete* spec at the point (parameter
+        already substituted), identified by its canonical content key;
+        ``(sweep_seed, spawn_start, runs)`` pin the exact child seeds its
+        replicates consumed. Together those determine the samples bit for
+        bit, so any sweep whose point lands on the same coordinates — a
+        rerun, another shard, or a grid extended at the tail — shares the
+        entry.
+        """
+        return self._digest(
+            self._identity(
+                kind="point",
+                experiment=experiment.cache_key(),
+                sweep_seed=int(sweep_seed),
+                spawn_start=int(spawn_start),
+                runs=int(runs),
+            )
+        )
+
+    def path_for_key(self, key: str) -> Path:
+        """Where the entry with ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
 
     def path_for(self, spec: "SweepSpec") -> Path:
         """Where ``spec``'s entry lives (whether or not it exists yet)."""
-        key = self.key_for(spec)
-        return self.root / key[:2] / f"{key}.json"
+        return self.path_for_key(self.key_for(spec))
 
     # -- load/store -------------------------------------------------------------
 
@@ -124,10 +193,8 @@ class ResultCache:
         from repro.experiments.runner import FigureResult
 
         path = self.path_for(spec)
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
+        data = self._read(path)
+        if data is None:
             self.misses += 1
             return None
         if data.get("schema") != CACHE_SCHEMA or data.get("sweep") != spec.to_dict():
@@ -146,15 +213,118 @@ class ResultCache:
         import repro
 
         path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA,
             "version": repro.__version__,
+            "kind": "sweep",
             "key": self.key_for(spec),
             "sweep": spec.to_dict(),
             "result": result.to_dict(),
         }
-        # Atomic publish: a parallel run or crash never exposes a torn file.
+        self._write(path, payload)
+        self.stores += 1
+        return path
+
+    def load_point(
+        self,
+        experiment: "ExperimentSpec",
+        sweep_seed: int,
+        spawn_start: int,
+        runs: int,
+    ) -> "list[dict[str, float]] | None":
+        """The cached replicate samples of one sweep point, or ``None``.
+
+        Returns the ``runs`` per-replicate sample mappings in replicate
+        order — exactly what the point's tasks produced. Corrupt entries,
+        spec-dict mismatches and sample-count mismatches are misses.
+        """
+        path = self.path_for_key(
+            self.key_for_point(experiment, sweep_seed, spawn_start, runs)
+        )
+        data = self._read(path)
+        if data is None:
+            self.point_misses += 1
+            return None
+        if (
+            data.get("schema") != CACHE_SCHEMA
+            or data.get("kind") != "point"
+            or data.get("experiment") != experiment.to_dict()
+            or data.get("sweep_seed") != int(sweep_seed)
+            or data.get("spawn_start") != int(spawn_start)
+        ):
+            self.point_misses += 1
+            return None
+        samples = data.get("samples")
+        try:
+            if not isinstance(samples, list) or len(samples) != int(runs):
+                raise ValueError(samples)
+            samples = [
+                {str(name): float(value) for name, value in sample.items()}
+                for sample in samples
+            ]
+        except (AttributeError, TypeError, ValueError):
+            self.point_misses += 1
+            return None
+        self.point_hits += 1
+        return samples
+
+    def store_point(
+        self,
+        experiment: "ExperimentSpec",
+        sweep_seed: int,
+        spawn_start: int,
+        runs: int,
+        samples: "Sequence[Mapping[str, float]]",
+    ) -> Path:
+        """Persist one sweep point's replicate samples; returns the path."""
+        import repro
+
+        if len(samples) != int(runs):
+            raise ValueError(f"{len(samples)} samples for runs={runs}")
+        key = self.key_for_point(experiment, sweep_seed, spawn_start, runs)
+        path = self.path_for_key(key)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": repro.__version__,
+            "kind": "point",
+            "key": key,
+            "experiment": experiment.to_dict(),
+            "sweep_seed": int(sweep_seed),
+            "spawn_start": int(spawn_start),
+            "runs": int(runs),
+            "samples": [
+                {str(name): float(value) for name, value in sample.items()}
+                for sample in samples
+            ],
+        }
+        self._write(path, payload)
+        self.point_stores += 1
+        return path
+
+    @staticmethod
+    def _read(path: Path) -> "dict | None":
+        """Parse one entry file; anything but a JSON object is ``None``.
+
+        The cache directory is shared by uncoordinated processes, so a
+        missing, truncated, hand-edited or foreign file must read as a
+        miss for this one key — never an exception that bricks every
+        reader of the directory.
+        """
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _write(self, path: Path, payload: Mapping) -> None:
+        """Atomic publish: a parallel run or crash never exposes a torn file.
+
+        Concurrent writers of one key each write a private temp file and
+        rename it over the destination — the POSIX rename is atomic, so the
+        last writer wins and readers only ever see complete entries.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             prefix=path.name, suffix=".tmp", dir=path.parent
         )
@@ -168,8 +338,88 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
-        return path
+
+    # -- maintenance ------------------------------------------------------------
+
+    def entries(self) -> "Iterator[Path]":
+        """Every entry file currently in the cache (any kind, any schema)."""
+        if not self.root.is_dir():
+            return
+        for bucket in sorted(self.root.iterdir()):
+            if bucket.is_dir() and len(bucket.name) == 2:
+                yield from sorted(bucket.glob("*.json"))
+
+    def stats(self) -> dict:
+        """A summary of what is on disk: entry/byte counts per entry kind."""
+        kinds: dict[str, int] = {}
+        total_bytes = 0
+        count = 0
+        for path in self.entries():
+            count += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+            data = self._read(path)
+            kind = "corrupt" if data is None else data.get("kind", "sweep")
+            kinds[str(kind)] = kinds.get(str(kind), 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": count,
+            "bytes": total_bytes,
+            "kinds": dict(sorted(kinds.items())),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            removed += self._remove(path)
+        return removed
+
+    def prune(
+        self,
+        max_entries: "int | None" = None,
+        max_age: "float | None" = None,
+    ) -> int:
+        """Trim the cache; returns how many entries were removed.
+
+        ``max_age`` (seconds) drops entries whose file modification time is
+        older than that; ``max_entries`` then drops the oldest entries until
+        at most that many remain. Either bound may be given alone. Entries
+        that vanish mid-prune (a concurrent prune or clear) are skipped, not
+        errors — the cache directory is shared by design.
+        """
+        if max_entries is None and max_age is None:
+            raise ValueError("prune needs max_entries and/or max_age")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if max_age is not None and max_age < 0:
+            raise ValueError(f"max_age must be >= 0, got {max_age}")
+        aged: "list[tuple[float, Path]]" = []
+        for path in self.entries():
+            try:
+                aged.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        aged.sort()  # oldest first
+        removed = 0
+        if max_age is not None:
+            cutoff = time.time() - max_age
+            while aged and aged[0][0] < cutoff:
+                removed += self._remove(aged.pop(0)[1])
+        if max_entries is not None and len(aged) > max_entries:
+            for _mtime, path in aged[: len(aged) - max_entries]:
+                removed += self._remove(path)
+        return removed
+
+    def _remove(self, path: Path) -> int:
+        """Unlink one entry, tolerating concurrent removal; 1 if removed."""
+        try:
+            path.unlink()
+        except OSError:
+            return 0
+        return 1
 
     def __repr__(self) -> str:
         return f"ResultCache({str(self.root)!r})"

@@ -12,7 +12,10 @@ These are the two entry points the spec layer adds on top of
   :class:`~repro.experiments.runner.FigureResult` via the sweep engine; pass
   an :class:`~repro.api.execution.ExecutionBackend` to parallelise the
   replicates (results are bit-identical across backends) and a
-  :class:`~repro.api.cache.ResultCache` to memoize whole sweeps on disk.
+  :class:`~repro.api.cache.ResultCache` to memoize results on disk — whole
+  sweeps *and* individual sweep points, so an interrupted or partially
+  invalidated sweep resumes instead of restarting, and ``shard=(i, n)``
+  lets N independent processes fill disjoint points of one shared cache.
 
 Randomness follows the figure-module convention: one generator drives
 topology construction, trace generation and every policy's simulation in
@@ -30,7 +33,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.api.execution import ExecutionBackend
+from repro.api.execution import ExecutionBackend, SerialBackend
 from repro.api.metrics import MetricContext, PolicyRun, evaluate_metrics
 from repro.api.specs import ExperimentSpec, SweepSpec
 from repro.core.results import RunResult
@@ -219,10 +222,40 @@ class SpecReplicate:
         return f"SpecReplicate({self.sweep.figure!r})"
 
 
+def _normalize_shard(shard) -> "tuple[int, int] | None":
+    """Validate a ``(index, count)`` shard selector; ``(0, 1)`` is a no-op."""
+    if shard is None:
+        return None
+    try:
+        index, count = (int(v) for v in shard)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"shard must be an (index, count) pair, got {shard!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must satisfy 0 <= index < count, got {shard!r}"
+        )
+    if count == 1:
+        return None
+    return (index, count)
+
+
+def _display_x(spec: SweepSpec, result: "FigureResult") -> "FigureResult":
+    """Map a coupled sweep's tuple x values to the primary component."""
+    if not isinstance(spec.parameter, tuple):
+        return result
+    return replace(
+        result, x_values=tuple(spec.display_x(x) for x in result.x_values)
+    )
+
+
 def run_sweep(
     spec: SweepSpec,
     backend: "ExecutionBackend | None" = None,
     cache: "ResultCache | None" = None,
+    shard: "tuple[int, int] | None" = None,
+    resume: bool = True,
 ) -> "FigureResult":
     """Run the sweep described by ``spec`` and aggregate a figure result.
 
@@ -234,31 +267,168 @@ def run_sweep(
             the stored result without simulating anything, a miss stores
             the freshly computed one. Safe because the spec is the complete
             input of the computation and results are backend-independent.
+        shard: optional ``(index, count)`` with ``0 <= index < count``:
+            compute only the sweep points whose index modulo ``count``
+            equals ``index``, storing them into ``cache`` (required). N
+            processes running the N shards of one spec into one shared
+            cache directory fan a sweep out without coordinating; whichever
+            process finds the cache complete assembles (and stores) the
+            full figure. A shard that finishes while other shards' points
+            are still missing returns a *partial* result restricted to the
+            available points.
+        resume: probe and fill per-point cache entries (the default). A
+            sweep interrupted mid-run, or invalidated for a subset of
+            points, re-simulates only the missing points on the next call.
+            ``False`` restores all-or-nothing caching at the sweep level.
+
+    Serial, process-pool and sharded execution are bit-identical: every
+    task's child seed depends only on its position (see
+    :func:`~repro.experiments.runner.spawn_tasks`), and aggregation is pure
+    arithmetic over the per-replicate samples wherever they came from.
     """
-    from repro.experiments.runner import sweep_experiment
+    from repro.experiments.runner import (
+        SeriesValidator,
+        aggregate_samples,
+        spawn_tasks,
+        sweep_experiment,
+    )
+
+    shard = _normalize_shard(shard)
+    if shard is not None and cache is None:
+        raise ValueError(
+            "sharded execution needs a shared cache: pass cache=ResultCache(...)"
+        )
+    if shard is not None and not resume:
+        raise ValueError(
+            "sharded execution requires resume=True: shards coordinate "
+            "exclusively through per-point cache entries"
+        )
 
     if cache is not None:
         cached = cache.load(spec)
         if cached is not None:
             return cached
 
-    result = sweep_experiment(
-        figure=spec.figure,
-        title=spec.resolved_title(),
-        x_label=spec.resolved_x_label(),
-        x_values=spec.values,
-        replicate=SpecReplicate(spec),
-        runs=spec.runs,
-        seed=spec.seed,
-        notes=spec.notes,
-        backend=backend,
-    )
-    if isinstance(spec.parameter, tuple):
-        # Coupled sweeps substitute value tuples; the figure plots the
-        # primary (first) component on the x axis.
-        result = replace(
-            result, x_values=tuple(spec.display_x(x) for x in spec.values)
+    if cache is None or not resume:
+        # All-or-nothing path: no per-point entries to probe or fill.
+        result = _display_x(
+            spec,
+            sweep_experiment(
+                figure=spec.figure,
+                title=spec.resolved_title(),
+                x_label=spec.resolved_x_label(),
+                x_values=spec.values,
+                replicate=SpecReplicate(spec),
+                runs=spec.runs,
+                seed=spec.seed,
+                notes=spec.notes,
+                backend=backend,
+            ),
         )
-    if cache is not None:
-        cache.store(spec, result)
+        if cache is not None:
+            cache.store(spec, result)
+        return result
+
+    # Resumable path: assemble the figure from cached points plus freshly
+    # computed ones, storing each fresh point as soon as its replicates are
+    # in — an interruption loses at most the points still in flight.
+    x_values = list(spec.values)
+    runs = spec.runs
+    tasks = spawn_tasks(x_values, runs, spec.seed)
+    point_specs = [spec.experiment_at(x) for x in x_values]
+
+    samples: "list[Mapping[str, float] | None]" = [None] * len(tasks)
+    missing: "list[int]" = []
+    for i in range(len(x_values)):
+        cached_point = cache.load_point(point_specs[i], spec.seed, i * runs, runs)
+        if cached_point is not None:
+            samples[i * runs : (i + 1) * runs] = cached_point
+        else:
+            missing.append(i)
+
+    mine = [
+        i for i in missing if shard is None or i % shard[1] == shard[0]
+    ]
+    if mine:
+        if backend is None:
+            backend = SerialBackend()
+        validator = SeriesValidator(runs)
+        pending = [tasks[i * runs + j] for i in mine for j in range(runs)]
+
+        def commit(k: int, block) -> None:
+            """Publish the k-th missing point: scatter + store immediately."""
+            i = mine[k]
+            samples[i * runs : (i + 1) * runs] = block
+            cache.store_point(point_specs[i], spec.seed, i * runs, runs, block)
+
+        # Commit each point from the result hook the moment its last
+        # replicate lands (results arrive in task order), so a crash or
+        # kill mid-batch loses at most the points still in flight — the
+        # next run resumes from everything committed before the interrupt.
+        hook_samples: "list[Mapping[str, float]]" = []
+
+        def on_result(index, task, sample) -> None:
+            validator(index, task, sample)
+            hook_samples.append(sample)
+            if len(hook_samples) % runs == 0:
+                k = len(hook_samples) // runs - 1
+                commit(k, hook_samples[k * runs :])
+
+        fresh = backend.run_replicates(
+            SpecReplicate(spec), pending, on_result=on_result
+        )
+        # Backstop for backends that ignored (or only partially drove) the
+        # hook: validate and commit whatever the hook did not see.
+        for index in range(len(hook_samples), len(pending)):
+            validator(index, pending[index], fresh[index])
+        for k in range(len(hook_samples) // runs, len(mine)):
+            commit(k, fresh[k * runs : (k + 1) * runs])
+
+    # Cached and fresh samples must agree on the series key set — a cached
+    # point from an older metric line-up mixed with fresh ones would
+    # otherwise aggregate into misaligned series.
+    check = SeriesValidator(runs)
+    for index, (task, sample) in enumerate(zip(tasks, samples)):
+        if sample is not None:
+            check(index, task, sample)
+
+    complete = [
+        i
+        for i in range(len(x_values))
+        if all(samples[i * runs + j] is not None for j in range(runs))
+    ]
+    if len(complete) < len(x_values):
+        # Only reachable in shard mode: other shards' points are not in the
+        # cache yet. Return what exists — callers fan shards out in parallel
+        # and let any later full run assemble the complete figure.
+        partial = aggregate_samples(
+            figure=spec.figure,
+            title=spec.resolved_title(),
+            x_label=spec.resolved_x_label(),
+            x_values=[x_values[i] for i in complete],
+            samples=[
+                samples[i * runs + j] for i in complete for j in range(runs)
+            ],
+            runs=runs,
+            notes=(
+                f"partial: {len(complete)}/{len(x_values)} points "
+                f"(shard {shard[0] + 1}/{shard[1]}); rerun unsharded to "
+                "assemble"
+            ),
+        )
+        return _display_x(spec, partial)
+
+    result = _display_x(
+        spec,
+        aggregate_samples(
+            figure=spec.figure,
+            title=spec.resolved_title(),
+            x_label=spec.resolved_x_label(),
+            x_values=x_values,
+            samples=samples,
+            runs=runs,
+            notes=spec.notes,
+        ),
+    )
+    cache.store(spec, result)
     return result

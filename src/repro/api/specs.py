@@ -35,6 +35,7 @@ Execution lives in :mod:`repro.api.experiment`
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 import json
 from dataclasses import dataclass, field, fields, replace
@@ -61,9 +62,22 @@ __all__ = [
     "DEFAULT_METRICS",
     "ExperimentSpec",
     "SweepSpec",
+    "canonical_key",
     "parse_component",
     "parse_value",
 ]
+
+
+def canonical_key(data: Any) -> str:
+    """SHA-256 of the canonical (sorted-keys, compact) JSON of ``data``.
+
+    This is *the* content-key convention of the spec layer: every spec's
+    :meth:`cache_key` is ``canonical_key(spec.to_dict())``, so two specs
+    have equal keys exactly when they compare equal — the property the
+    result cache builds on.
+    """
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 #: Load-model names accepted by :class:`CostSpec`.
 _LOAD_MODELS = ("linear", "quadratic", "power")
@@ -494,6 +508,15 @@ class ExperimentSpec:
 
     # -- serialisation ----------------------------------------------------------
 
+    def cache_key(self) -> str:
+        """The canonical content key of this spec (see :func:`canonical_key`).
+
+        Pure spec identity — no package version or code fingerprint; the
+        result cache layers those on top. Equal specs (including dict/JSON
+        round-trips) have equal keys.
+        """
+        return canonical_key(self.to_dict())
+
     def to_dict(self) -> dict:
         """Plain JSON-safe dict form (nested component dicts)."""
         return {
@@ -652,6 +675,10 @@ class SweepSpec:
         if not paths:
             return subject
         return f"{subject} vs {paths[0]}"
+
+    def cache_key(self) -> str:
+        """The canonical content key of this sweep (see :func:`canonical_key`)."""
+        return canonical_key(self.to_dict())
 
     def to_dict(self) -> dict:
         """Plain JSON-safe dict form."""

@@ -26,16 +26,28 @@ Two modes:
       python -m repro.experiments list
       python -m repro.experiments list metrics
 
+* **cache maintenance** — inspect or trim a ``--cache-dir``::
+
+      python -m repro.experiments cache stats --cache-dir ~/.cache/repro
+      python -m repro.experiments cache prune --cache-dir ~/.cache/repro \\
+          --max-entries 5000 --max-age 604800
+      python -m repro.experiments cache clear --cache-dir ~/.cache/repro
+
 Quick scale shrinks network sizes, horizons and run counts to keep any
 single figure under roughly a minute while preserving its qualitative
 shape; ``--paper`` uses the caption parameters registered next to each
 figure function. ``--workers N`` fans sweep replicates out over N processes
 (results are bit-identical to the serial run), ``--runs`` overrides the
 replicate count at any scale and ``--json`` emits the machine-readable
-result including the resolved spec. ``--cache-dir DIR`` memoizes sweep
-results on disk keyed on the spec (``--no-cache`` bypasses an enabled
-cache); a re-run with an identical spec returns the stored result without
-simulating.
+result including the resolved spec. ``--cache-dir DIR`` memoizes results on
+disk keyed on the spec (``--no-cache`` bypasses an enabled cache): whole
+sweeps *and* every individual sweep point, so an interrupted or partially
+invalidated sweep resumes from the per-point entries instead of restarting
+(``--no-resume`` restores all-or-nothing caching). ``--shard I/N`` computes
+only every N-th sweep point starting at the I-th (1-based) into the shared
+cache directory — run the N shards as N independent processes or CI jobs,
+then rerun without ``--shard`` to assemble the full figure from the warm
+cache, bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -111,18 +123,63 @@ def _cache_for(args) -> "ResultCache | None":
     return ResultCache(args.cache_dir)
 
 
+def _parse_shard(text: str) -> "tuple[int, int]":
+    """argparse type for ``--shard I/N`` (1-based): returns 0-based (I-1, N)."""
+    index, slash, count = text.partition("/")
+    try:
+        if not slash:
+            raise ValueError(text)
+        index, count = int(index), int(count)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 1/4), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 1 <= I <= N, got {text!r}"
+        )
+    return (index - 1, count)
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help=(
-            "memoize sweep results on disk under DIR, keyed on the spec; "
-            "an identical re-run loads instead of simulating"
+            "memoize results on disk under DIR, keyed on the spec — whole "
+            "sweeps and individual sweep points; an identical re-run loads "
+            "instead of simulating, a partial one resumes"
         ),
     )
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass --cache-dir (force a fresh simulation, store nothing)",
     )
+    parser.add_argument(
+        "--shard", type=_parse_shard, default=None, metavar="I/N",
+        help=(
+            "compute only every N-th sweep point starting at the I-th "
+            "(1-based) into the shared --cache-dir; run all N shards as "
+            "independent processes, then rerun without --shard to assemble"
+        ),
+    )
+
+
+def _point_stats_line(cache: ResultCache) -> str:
+    """The per-point hit/miss summary printed to stderr after a sweep.
+
+    Derived purely from the cache counters: every sweep point is probed
+    exactly once per resumable run, so hits + misses is the point total and
+    misses not recomputed here belong to other shards.
+    """
+    total = cache.point_hits + cache.point_misses
+    pending = cache.point_misses - cache.point_stores
+    line = (
+        f"points: {cache.point_hits}/{total} cached, "
+        f"{cache.point_stores} computed"
+    )
+    if pending > 0:
+        line += f", {pending} left to other shards"
+    return line
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -248,6 +305,17 @@ def build_run_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true", help="also render an ASCII chart"
     )
     _add_cache_flags(parser)
+    parser.add_argument(
+        "--resume", dest="resume", action="store_true", default=True,
+        help=(
+            "reuse per-point cache entries and recompute only missing sweep "
+            "points (the default whenever --cache-dir is set)"
+        ),
+    )
+    parser.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="all-or-nothing caching: ignore and do not write per-point entries",
+    )
     return parser
 
 
@@ -257,8 +325,17 @@ def main(argv: "list[str] | None" = None) -> int:
         return run_command(argv[1:])
     if argv and argv[0] == "list":
         return list_command(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_command(argv[1:])
 
     args = build_parser().parse_args(argv)
+
+    if args.shard is not None and _cache_for(args) is None:
+        print(
+            "error: --shard needs a shared --cache-dir (without --no-cache)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.list or not args.figure:
         for name, (fn, _quick) in sorted(_REGISTRY.items()):
@@ -305,11 +382,13 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
     fn, quick = _REGISTRY[key]
     kwargs = {} if args.paper else dict(quick)
     accepted = set(inspect.signature(fn).parameters)
+    cache = _cache_for(args)
     for flag, option, value in (
         ("seed", "seed", args.seed),
         ("runs", "runs", args.runs),
         ("backend", "workers", _backend_for(args.workers)),
-        ("cache", "cache-dir", _cache_for(args)),
+        ("cache", "cache-dir", cache),
+        ("shard", "shard", getattr(args, "shard", None)),
     ):
         if value is None:
             continue
@@ -322,12 +401,16 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
     started = time.perf_counter()
     result = fn(**kwargs)
     elapsed = time.perf_counter() - started
+    if cache is not None and (cache.point_hits or cache.point_misses):
+        print(_point_stats_line(cache), file=sys.stderr)
     if args.json:
         if args.plot:
             print("note: --plot is ignored with --json", file=sys.stderr)
         payload = result.to_dict()
         payload["params"] = {
-            k: v for k, v in kwargs.items() if k not in ("backend", "cache")
+            k: v for k, v in kwargs.items()
+            # execution/orchestration knobs, not figure parameters
+            if k not in ("backend", "cache", "shard")
         }
         payload["elapsed_seconds"] = round(elapsed, 3)
         if emit_json:
@@ -437,6 +520,18 @@ def run_command(argv: "list[str]") -> int:
     from repro.api.experiment import resolve_series_labels, run_sweep
 
     args = build_run_parser().parse_args(argv)
+    if args.shard is not None and _cache_for(args) is None:
+        print(
+            "error: --shard needs a shared --cache-dir (without --no-cache)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard is not None and not args.resume:
+        print(
+            "error: --shard requires per-point resume; drop --no-resume",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = spec_from_args(args)
         # Build every sweep point's components up front (substrate, scenario,
@@ -466,7 +561,13 @@ def run_command(argv: "list[str]") -> int:
 
     cache = _cache_for(args)
     started = time.perf_counter()
-    result = run_sweep(spec, backend=_backend_for(args.workers), cache=cache)
+    result = run_sweep(
+        spec,
+        backend=_backend_for(args.workers),
+        cache=cache,
+        shard=args.shard,
+        resume=args.resume,
+    )
     elapsed = time.perf_counter() - started
     if cache is not None:
         status = "hit" if cache.hits else "miss"
@@ -474,6 +575,8 @@ def run_command(argv: "list[str]") -> int:
             f"cache {status} {cache.key_for(spec)[:12]} in {cache.root}",
             file=sys.stderr,
         )
+        if cache.point_hits or cache.point_misses:
+            print(_point_stats_line(cache), file=sys.stderr)
 
     if args.json:
         if args.plot:
@@ -490,6 +593,76 @@ def run_command(argv: "list[str]") -> int:
         print()
         print(render_figure_chart(result))
     print(f"  ({elapsed:.1f}s, backend={'serial' if not args.workers or args.workers <= 1 else f'{args.workers} workers'})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# The `cache` subcommand: maintenance of a --cache-dir
+# ---------------------------------------------------------------------------
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cache",
+        description=(
+            "Inspect or trim a result cache directory (the --cache-dir of "
+            "the figure and run commands)."
+        ),
+    )
+    parser.add_argument(
+        "action", choices=("stats", "clear", "prune"),
+        help=(
+            "stats: entry/byte counts per kind; clear: delete every entry; "
+            "prune: trim by --max-entries / --max-age"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the cache directory to operate on",
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="prune: keep at most N entries (oldest removed first)",
+    )
+    parser.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="prune: remove entries older than SECONDS (by file mtime)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the outcome as machine-readable JSON",
+    )
+    return parser
+
+
+def cache_command(argv: "list[str]") -> int:
+    """Entry point of ``python -m repro.experiments cache ...``."""
+    args = build_cache_parser().parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        payload = cache.stats()
+    elif args.action == "clear":
+        payload = {"root": str(cache.root), "removed": cache.clear()}
+    else:  # prune
+        if args.max_entries is None and args.max_age is None:
+            print(
+                "error: prune needs --max-entries and/or --max-age",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            removed = cache.prune(
+                max_entries=args.max_entries, max_age=args.max_age
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        payload = {"root": str(cache.root), "removed": removed}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
     return 0
 
 

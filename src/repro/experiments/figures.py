@@ -268,6 +268,7 @@ def figure03(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Algorithm cost vs network size, commuter scenario with dynamic load."""
     return run_sweep(
@@ -277,6 +278,7 @@ def figure03(
         ),
         backend=backend,
         cache=cache,
+        shard=shard,
     )
 
 
@@ -291,6 +293,7 @@ def figure04(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Like Figure 3, but with static load."""
     return run_sweep(
@@ -300,6 +303,7 @@ def figure04(
         ),
         backend=backend,
         cache=cache,
+        shard=shard,
     )
 
 
@@ -314,6 +318,7 @@ def figure05(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Like Figure 3, but for the time zone scenario.
 
@@ -346,7 +351,7 @@ def figure05(
         x_label="network size",
         notes="paper: ONTH below both ONBR variants; T grows with n",
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 @register_figure(
@@ -360,6 +365,7 @@ def figure06(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """ONBR cost breakdown vs network size in the β=400 > c=40 regime."""
     spec = SweepSpec(
@@ -388,7 +394,7 @@ def figure06(
         x_label="network size",
         notes="paper: access cost dominates and grows with n",
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 # ---------------------------------------------------------------------------
@@ -409,6 +415,7 @@ def figure07(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Cost vs T in the commuter scenario with static load."""
     spec = SweepSpec(
@@ -430,7 +437,7 @@ def figure07(
         x_label="T",
         notes="paper: cost rises slightly with T; ONTH best throughout",
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 def _lambda_sweep(
@@ -475,6 +482,7 @@ def figure08(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with dynamic load."""
     spec = _lambda_sweep(
@@ -482,7 +490,7 @@ def figure08(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": True}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 @register_figure(
@@ -497,6 +505,7 @@ def figure09(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with static load."""
     spec = _lambda_sweep(
@@ -504,7 +513,7 @@ def figure09(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 @register_figure(
@@ -519,6 +528,7 @@ def figure10(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Cost vs λ, time zone scenario with p = 50%."""
     spec = _lambda_sweep(
@@ -526,7 +536,7 @@ def figure10(
         ScenarioSpec("timezones", {"period": period}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 # ---------------------------------------------------------------------------
@@ -544,6 +554,7 @@ def figure11(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Competitive ratio of ONTH against OPT as a function of λ.
 
@@ -588,7 +599,7 @@ def figure11(
         x_label="λ",
         notes="paper: ratios fairly low; commuter static peaks at intermediate λ",
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 # ---------------------------------------------------------------------------
@@ -655,6 +666,7 @@ def _absolute_vs_lambda(
     seed: int,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     spec = SweepSpec(
         experiment=ExperimentSpec(
@@ -677,7 +689,7 @@ def _absolute_vs_lambda(
         x_label="λ",
         notes="paper: absolute cost falls as dynamics slow (larger λ)",
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 @register_figure("fig13", quick=dict(runs=5))
@@ -690,12 +702,13 @@ def figure13(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Absolute OFFSTAT and OPT costs vs λ, commuter dynamic load, β < c."""
     return _absolute_vs_lambda(
         "fig13", "OFFSTAT vs OPT absolute cost (β=40 < c=400)",
         CostSpec.paper_default(), lambdas, n, period, horizon, runs, seed,
-        backend=backend, cache=cache,
+        backend=backend, cache=cache, shard=shard,
     )
 
 
@@ -709,12 +722,13 @@ def figure14(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Like Figure 13 with β = 400 > c = 40."""
     return _absolute_vs_lambda(
         "fig14", "OFFSTAT vs OPT absolute cost (β=400 > c=40)",
         CostSpec.migration_expensive(), lambdas, n, period, horizon, runs,
-        seed, backend=backend, cache=cache,
+        seed, backend=backend, cache=cache, shard=shard,
     )
 
 
@@ -732,6 +746,7 @@ def _ratio_sweep(
     notes: str,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """The OFFSTAT/OPT two-regime ratio figures (15-19) as one spec each."""
     spec = SweepSpec(
@@ -752,7 +767,7 @@ def _ratio_sweep(
         x_label=x_label,
         notes=notes,
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
 
 
 @register_figure("fig15", quick=dict(runs=5))
@@ -765,6 +780,7 @@ def figure15(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter dynamic load."""
     return _ratio_sweep(
@@ -773,7 +789,7 @@ def figure15(
         ScenarioSpec("commuter", {"period": period}),
         n, horizon, runs, seed,
         "paper: benefit of flexibility peaks (≈2x) at moderate dynamics",
-        backend=backend, cache=cache,
+        backend=backend, cache=cache, shard=shard,
     )
 
 
@@ -787,6 +803,7 @@ def figure16(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter static load."""
     return _ratio_sweep(
@@ -795,7 +812,7 @@ def figure16(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
         n, horizon, runs, seed,
         "paper: β<c ≈1.2 flat then →1; β>c up to ≈2 at intermediate λ",
-        backend=backend, cache=cache,
+        backend=backend, cache=cache, shard=shard,
     )
 
 
@@ -809,6 +826,7 @@ def figure17(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, time zones with 3 requests/round."""
     return _ratio_sweep(
@@ -818,7 +836,7 @@ def figure17(
         n, horizon, runs, seed,
         "paper: ratio rises quickly for small λ then declines ~linearly; "
         "β<c similar to β>c",
-        backend=backend, cache=cache,
+        backend=backend, cache=cache, shard=shard,
     )
 
 
@@ -832,6 +850,7 @@ def figure18(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter dynamic load."""
     return _ratio_sweep(
@@ -840,7 +859,7 @@ def figure18(
         ScenarioSpec("commuter", {"sojourn": sojourn}),
         n, horizon, runs, seed,
         "paper: ratio grows with T; β>c benefits more from flexibility",
-        backend=backend, cache=cache,
+        backend=backend, cache=cache, shard=shard,
     )
 
 
@@ -854,6 +873,7 @@ def figure19(
     seed: int = DEFAULT_SEED,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter static load."""
     return _ratio_sweep(
@@ -862,7 +882,7 @@ def figure19(
         ScenarioSpec("commuter", {"sojourn": sojourn, "dynamic_load": False}),
         n, horizon, runs, seed,
         "paper: as Figure 18 but static load",
-        backend=backend, cache=cache,
+        backend=backend, cache=cache, shard=shard,
     )
 
 
@@ -886,6 +906,7 @@ def rocketfuel_table(
     substrate: "Substrate | None" = None,
     backend=None,
     cache=None,
+    shard=None,
 ) -> FigureResult:
     """Total costs of OFFSTAT, ONTH and ONBR on the AT&T-like topology.
 
@@ -952,4 +973,4 @@ def rocketfuel_table(
         x_label="metric",
         notes=_ROCKETFUEL_NOTES,
     )
-    return run_sweep(spec, backend=backend, cache=cache)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard)

@@ -25,7 +25,13 @@ import numpy as np
 from repro.analysis.stats import mean_stderr
 from repro.api.execution import ExecutionBackend, ReplicateTask, SerialBackend
 
-__all__ = ["FigureResult", "sweep_experiment"]
+__all__ = [
+    "FigureResult",
+    "SeriesValidator",
+    "aggregate_samples",
+    "spawn_tasks",
+    "sweep_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +118,104 @@ def _json_value(value):
     return value
 
 
+def spawn_tasks(x_values: Sequence, runs: int, seed: int) -> "list[ReplicateTask]":
+    """The full task list of a sweep: ``runs`` tasks per point, seeds attached.
+
+    Child generator ``k`` is ``SeedSequence(seed)``'s ``k``-th spawn, so the
+    seed of replicate ``j`` at point index ``i`` (task ``i * runs + j``)
+    depends only on ``(seed, i * runs + j)`` — never on which subset of the
+    tasks actually executes. That positional contract is what per-point
+    caching and sharded execution rely on: recomputing one point, or
+    splitting the list across processes, reproduces the exact streams of a
+    full serial sweep.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    x_values = list(x_values)
+    children = np.random.SeedSequence(seed).spawn(len(x_values) * runs)
+    return [
+        ReplicateTask(x=x_values[index // runs], seed=children[index])
+        for index in range(len(x_values) * runs)
+    ]
+
+
+class SeriesValidator:
+    """A :data:`~repro.api.execution.ResultHook` pinning the series key set.
+
+    Every replicate of a sweep must report the same series names; a ragged
+    key set would merge silently into misaligned series. The first sample
+    seen fixes the expectation, every later one is compared against it.
+    ``calls`` counts hook invocations so callers can detect backends that
+    ignored (or only partially invoked) the hook and re-validate.
+    """
+
+    def __init__(self, runs: int) -> None:
+        self.runs = runs
+        self.expected: "set[str] | None" = None
+        self.calls = 0
+
+    def __call__(self, index: int, task: ReplicateTask, sample) -> None:
+        self.calls += 1
+        keys = set(sample)
+        if self.expected is None:
+            self.expected = keys
+        elif keys != self.expected:
+            raise RuntimeError(
+                f"replicate at x={task.x!r} (run {index % self.runs}) returned "
+                f"series {sorted(keys)}, expected {sorted(self.expected)}"
+            )
+
+
+def aggregate_samples(
+    figure: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    samples: Sequence[Mapping[str, float]],
+    runs: int,
+    notes: str = "",
+) -> FigureResult:
+    """Fold flat per-replicate samples into a :class:`FigureResult`.
+
+    ``samples`` is in task order (``runs`` consecutive entries per point,
+    points in ``x_values`` order) — the exact list a backend returns for
+    :func:`spawn_tasks`'s tasks. Aggregation is pure arithmetic over the
+    sample floats, so samples that round-tripped through a JSON point cache
+    aggregate bit-identically to freshly computed ones.
+    """
+    x_values = list(x_values)
+    if len(samples) != len(x_values) * runs:
+        raise ValueError(
+            f"{len(samples)} samples for {len(x_values)} points x {runs} runs"
+        )
+    collected: "dict[str, list[list[float]]]" = {}
+    for i, _x in enumerate(x_values):
+        point_samples: dict[str, list[float]] = {}
+        for j in range(runs):
+            sample = samples[i * runs + j]
+            for name, value in sample.items():
+                point_samples.setdefault(name, []).append(float(value))
+        for name, values in point_samples.items():
+            collected.setdefault(name, []).append(values)
+
+    series = {}
+    errors = {}
+    for name, per_point in collected.items():
+        stats = [mean_stderr(values) for values in per_point]
+        series[name] = tuple(s.mean for s in stats)
+        errors[name] = tuple(s.stderr for s in stats)
+
+    return FigureResult(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        x_values=tuple(x_values),
+        series=series,
+        errors=errors,
+        notes=notes,
+    )
+
+
 def sweep_experiment(
     figure: str,
     title: str,
@@ -141,14 +245,8 @@ def sweep_experiment(
     Returns:
         A :class:`FigureResult` with per-series means and standard errors.
     """
-    if runs < 1:
-        raise ValueError(f"runs must be >= 1, got {runs}")
     x_values = list(x_values)
-    children = np.random.SeedSequence(seed).spawn(len(x_values) * runs)
-    tasks = [
-        ReplicateTask(x=x_values[index // runs], seed=children[index])
-        for index in range(len(x_values) * runs)
-    ]
+    tasks = spawn_tasks(x_values, runs, seed)
     if backend is None:
         backend = SerialBackend()
 
@@ -157,53 +255,16 @@ def sweep_experiment(
     # misaligned series. Running the check as a result hook fails fast: a
     # serial sweep aborts at the offending replicate instead of burning the
     # rest of a long run first.
-    expected: "set[str] | None" = None
-    hook_calls = 0
-
-    def check_series(index: int, task: ReplicateTask, sample) -> None:
-        nonlocal expected, hook_calls
-        hook_calls += 1
-        keys = set(sample)
-        if expected is None:
-            expected = keys
-        elif keys != expected:
-            raise RuntimeError(
-                f"replicate at x={task.x!r} (run {index % runs}) returned "
-                f"series {sorted(keys)}, expected {sorted(expected)}"
-            )
-
+    check_series = SeriesValidator(runs)
     samples = backend.run_replicates(replicate, tasks, on_result=check_series)
 
-    if hook_calls < len(tasks):
+    if check_series.calls < len(tasks):
         # Backstop for third-party backends that ignore (or partially
         # invoke) on_result; skipped entirely when the hook already saw
         # every result — no double validation pass on large serial sweeps.
         for index, (task, sample) in enumerate(zip(tasks, samples)):
             check_series(index, task, sample)
 
-    collected: "dict[str, list[list[float]]]" = {}
-    for i, x in enumerate(x_values):
-        point_samples: dict[str, list[float]] = {}
-        for j in range(runs):
-            sample = samples[i * runs + j]
-            for name, value in sample.items():
-                point_samples.setdefault(name, []).append(float(value))
-        for name, values in point_samples.items():
-            collected.setdefault(name, []).append(values)
-
-    series = {}
-    errors = {}
-    for name, per_point in collected.items():
-        stats = [mean_stderr(values) for values in per_point]
-        series[name] = tuple(s.mean for s in stats)
-        errors[name] = tuple(s.stderr for s in stats)
-
-    return FigureResult(
-        figure=figure,
-        title=title,
-        x_label=x_label,
-        x_values=tuple(x_values),
-        series=series,
-        errors=errors,
-        notes=notes,
+    return aggregate_samples(
+        figure, title, x_label, x_values, samples, runs, notes=notes
     )

@@ -146,6 +146,157 @@ class TestLoadStore:
         assert run_sweep(spec, backend=ExplodingBackend(), cache=cache) == result
 
 
+class TestPointEntries:
+    def test_point_key_depends_on_every_coordinate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        point = spec.experiment_at(2)
+        base = cache.key_for_point(point, 1, 0, 2)
+        assert cache.key_for_point(point, 2, 0, 2) != base       # sweep seed
+        assert cache.key_for_point(point, 1, 2, 2) != base       # spawn offset
+        assert cache.key_for_point(point, 1, 0, 3) != base       # replicates
+        other = spec.experiment_at(5)
+        assert cache.key_for_point(other, 1, 0, 2) != base       # experiment
+        # stable across instances and spec round-trips
+        import json as json_module
+
+        from repro.api.specs import ExperimentSpec
+
+        restored = ExperimentSpec.from_dict(
+            json_module.loads(json_module.dumps(point.to_dict()))
+        )
+        assert ResultCache(tmp_path / "b").key_for_point(restored, 1, 0, 2) == base
+
+    def test_point_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = small_sweep().experiment_at(2)
+        samples = [{"ONTH": 1.25}, {"ONTH": 2.5}]
+        cache.store_point(point, 1, 0, 2, samples)
+        assert cache.point_stores == 1
+        assert cache.load_point(point, 1, 0, 2) == samples
+        assert cache.point_hits == 1
+
+    def test_point_sample_count_must_match(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = small_sweep().experiment_at(2)
+        with pytest.raises(ValueError):
+            cache.store_point(point, 1, 0, 3, [{"ONTH": 1.0}])
+        cache.store_point(point, 1, 0, 1, [{"ONTH": 1.0}])
+        # asking for a different replicate count is a different key: a miss
+        assert cache.load_point(point, 1, 0, 2) is None
+        assert cache.point_misses == 1
+
+    def test_tampered_point_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        point = spec.experiment_at(2)
+        path = cache.store_point(point, 1, 0, 2, [{"ONTH": 1.0}, {"ONTH": 2.0}])
+        data = json.loads(path.read_text())
+        data["experiment"]["horizon"] = 999
+        path.write_text(json.dumps(data))
+        assert cache.load_point(point, 1, 0, 2) is None
+        path.write_text("{torn")
+        assert cache.load_point(point, 1, 0, 2) is None
+
+    def test_non_object_json_entry_is_a_miss_everywhere(self, tmp_path):
+        # Valid JSON whose top level is not an object (a foreign or
+        # hand-edited file in the shared dir) must read as a miss / a
+        # corrupt stats entry, never raise.
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        point = spec.experiment_at(2)
+        point_path = cache.store_point(point, 1, 0, 1, [{"ONTH": 1.0}])
+        run_sweep(spec, cache=cache)
+        sweep_path = cache.path_for(spec)
+        for path in (point_path, sweep_path):
+            path.write_text("[1, 2]")
+        assert cache.load_point(point, 1, 0, 1) is None
+        assert cache.load(spec) is None
+        assert cache.stats()["kinds"]["corrupt"] == 2
+
+    def test_sweep_entry_is_not_a_point_entry(self, tmp_path):
+        # A sweep entry copied over a point key must be rejected by the
+        # kind check, not parsed as samples.
+        cache = ResultCache(tmp_path)
+        spec = small_sweep()
+        run_sweep(spec, cache=cache)
+        point = spec.experiment_at(2)
+        sweep_path = cache.path_for(spec)
+        point_path = cache.path_for_key(cache.key_for_point(point, 1, 0, 2))
+        point_path.parent.mkdir(parents=True, exist_ok=True)
+        point_path.write_text(sweep_path.read_text())
+        assert cache.load_point(point, 1, 0, 2) is None
+
+
+class TestMaintenance:
+    def fill(self, cache, count):
+        point = small_sweep().experiment_at(2)
+        for i in range(count):
+            cache.store_point(point, 1, i, 1, [{"ONTH": float(i)}])
+
+    def test_stats_counts_entries_by_kind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats() == {
+            "root": str(tmp_path), "entries": 0, "bytes": 0, "kinds": {},
+        }
+        run_sweep(small_sweep(), cache=cache)
+        stats = cache.stats()
+        assert stats["entries"] == 3  # two points + one sweep
+        assert stats["kinds"] == {"point": 2, "sweep": 1}
+        assert stats["bytes"] > 0
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.fill(cache, 4)
+        assert cache.clear() == 4
+        assert cache.stats()["entries"] == 0
+        assert cache.clear() == 0
+
+    def test_prune_by_entry_count_drops_oldest(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        self.fill(cache, 5)
+        # age the entries deterministically: entry i is i hours old
+        paths = list(cache.entries())
+        assert len(paths) == 5
+        point = small_sweep().experiment_at(2)
+        by_spawn = {
+            json.loads(p.read_text())["spawn_start"]: p for p in paths
+        }
+        base = 1_700_000_000
+        for spawn, path in by_spawn.items():
+            os.utime(path, (base - spawn * 3600, base - spawn * 3600))
+        assert cache.prune(max_entries=2) == 3
+        # the two newest (smallest spawn offsets) survive
+        assert cache.load_point(point, 1, 0, 1) is not None
+        assert cache.load_point(point, 1, 1, 1) is not None
+        assert cache.load_point(point, 1, 2, 1) is None
+
+    def test_prune_by_age(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        self.fill(cache, 3)
+        point = small_sweep().experiment_at(2)
+        old = cache.path_for_key(cache.key_for_point(point, 1, 2, 1))
+        stale = time.time() - 7200
+        os.utime(old, (stale, stale))
+        assert cache.prune(max_age=3600) == 1
+        assert cache.load_point(point, 1, 2, 1) is None
+        assert cache.stats()["entries"] == 2
+
+    def test_prune_argument_validation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.prune()
+        with pytest.raises(ValueError):
+            cache.prune(max_entries=-1)
+        with pytest.raises(ValueError):
+            cache.prune(max_age=-2.0)
+
+
 class TestFigureCacheThreading:
     def test_figure_function_accepts_cache(self, tmp_path):
         from repro.experiments import figures
@@ -192,3 +343,116 @@ class TestCLICacheFlags:
         capsys.readouterr()
         assert any(tmp_path.iterdir())  # the sweep was stored
         assert main(argv) == 0  # second run loads from the cache
+
+    def test_first_run_reports_point_stats(self, tmp_path, capsys):
+        assert self.run_cli(["--cache-dir", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "points: 0/1 cached, 1 computed" in err
+
+    def test_no_resume_skips_point_entries(self, tmp_path, capsys):
+        assert self.run_cli(["--cache-dir", str(tmp_path), "--no-resume"]) == 0
+        err = capsys.readouterr().err
+        assert "points:" not in err
+        from repro.api.cache import ResultCache
+
+        assert ResultCache(tmp_path).stats()["kinds"] == {"sweep": 1}
+
+
+class TestCLISharding:
+    ARGS = [
+        "run", "--policy", "onth", "--topology", "erdos_renyi:n=30",
+        "--horizon", "30", "--runs", "1", "--json",
+        "--sweep", "scenario.sojourn=2,5",
+    ]
+
+    def run_cli(self, extra):
+        from repro.experiments.__main__ import main
+
+        return main([*self.ARGS, *extra])
+
+    def test_shard_without_cache_dir_errors(self, capsys):
+        assert self.run_cli(["--shard", "1/2"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_shard_with_no_cache_flag_errors(self, tmp_path, capsys):
+        assert self.run_cli(
+            ["--cache-dir", str(tmp_path), "--no-cache", "--shard", "1/2"]
+        ) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["0/2", "3/2", "2", "a/b", "1/0"])
+    def test_malformed_shard_arguments_error(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            self.run_cli(["--shard", bad])
+        capsys.readouterr()
+
+    def test_two_shards_then_assembly_matches_serial(self, tmp_path, capsys):
+        assert self.run_cli([]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        cache = ["--cache-dir", str(tmp_path)]
+        assert self.run_cli([*cache, "--shard", "1/2"]) == 0
+        first = capsys.readouterr()
+        assert "1 left to other shards" in first.err
+        assert json.loads(first.out)["notes"].startswith("partial")
+        assert self.run_cli([*cache, "--shard", "2/2"]) == 0
+        capsys.readouterr()
+        assert self.run_cli(cache) == 0
+        final = capsys.readouterr()
+        assert "cache hit" in final.err
+        assembled = json.loads(final.out)
+        for payload in (serial, assembled):
+            payload.pop("elapsed_seconds")
+        assert assembled == serial
+
+    def test_figure_mode_shard_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        base = ["fig03", "--runs", "1", "--cache-dir", str(tmp_path)]
+        assert main([*base, "--shard", "1/2"]) == 0
+        err = capsys.readouterr().err
+        assert "left to other shards" in err
+        assert main([*base, "--shard", "2/2"]) == 0
+        capsys.readouterr()
+        assert main(["fig03", "--runs", "1", "--shard", "1/2"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+
+class TestCacheSubcommand:
+    def seed_cache(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        assert main([
+            "run", "--policy", "onth", "--topology", "erdos_renyi:n=30",
+            "--horizon", "30", "--runs", "1", "--json",
+            "--sweep", "scenario.sojourn=2,5",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+
+    def test_stats_clear_round_trip(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        self.seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 3
+        assert stats["kinds"] == {"point": 2, "sweep": 1}
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 3
+
+    def test_prune_respects_max_entries(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        self.seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-entries", "1", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 2
+
+    def test_prune_without_bounds_errors(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-entries" in capsys.readouterr().err

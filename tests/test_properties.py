@@ -1,9 +1,13 @@
 """Cross-module property-based tests (hypothesis).
 
 These pin the library's global invariants on randomly generated instances:
-OPT optimality, ledger accounting identities, trace/scenario conservation
-laws, and the consistency between candidate prediction and pricing.
+OPT optimality against every online policy, ledger accounting identities
+and sign constraints, cost monotonicity in the migration price, spec
+serialisation round-trips, trace/scenario conservation laws, and the
+consistency between candidate prediction and pricing.
 """
+
+import json
 
 import numpy as np
 import pytest
@@ -14,6 +18,16 @@ from repro.algorithms._families import apply_choice, enumerate_choices
 from repro.algorithms.onbr import OnBR
 from repro.algorithms.onth import OnTH
 from repro.algorithms.opt import Opt
+from repro.api.registry import resolve_policy
+from repro.api.specs import (
+    CostSpec,
+    ExperimentSpec,
+    MetricSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+)
 from repro.core.config import Configuration
 from repro.core.costs import CostModel
 from repro.core.evaluation import RequestBatch
@@ -52,15 +66,20 @@ def cost_models(draw):
     )
 
 
+#: Every registered online policy with a no-argument construction — each
+#: produces a feasible schedule, so OPT lower-bounds all of them.
+_ONLINE_POLICY_KINDS = ("onth", "onbr", "onbr-dyn", "onconf", "wfa")
+
+
 @settings(max_examples=20, **SLOW)
 @given(seed=st.integers(0, 10_000), costs=cost_models())
 def test_opt_lower_bounds_online_policies(seed, costs):
     rng = np.random.default_rng(seed)
     trace = random_trace(rng)
     opt_cost, _ = Opt.solve(SUB, trace, costs)
-    for factory in (OnTH, OnBR):
-        online = simulate(SUB, factory(), trace, costs, seed=1)
-        assert opt_cost <= online.total_cost + 1e-6
+    for kind in _ONLINE_POLICY_KINDS:
+        online = simulate(SUB, resolve_policy(kind)(), trace, costs, seed=1)
+        assert opt_cost <= online.total_cost + 1e-6, kind
 
 
 @settings(max_examples=20, **SLOW)
@@ -78,9 +97,35 @@ def test_ledger_accounting_identity(seed, costs):
             + result.creation_cost.sum()
         )
     )
-    # per-round access non-negative; server census sane
-    assert (result.access_cost >= 0).all()
+    # every ledger component non-negative; server census sane
+    for component in ("latency_cost", "load_cost", "running_cost",
+                      "migration_cost", "creation_cost", "access_cost",
+                      "migrations", "creations", "n_requests"):
+        assert (getattr(result, component) >= 0).all(), component
     assert (result.n_active >= 1).all()
+
+
+@settings(max_examples=20, **SLOW)
+@given(
+    seed=st.integers(0, 10_000),
+    betas=st.lists(
+        st.sampled_from([0.0, 1.0, 10.0, 40.0, 100.0, 400.0]),
+        min_size=2, max_size=2, unique=True,
+    ),
+)
+def test_opt_cost_monotone_in_migration_cost(seed, betas):
+    """Raising β cannot lower the optimum: every schedule's cost is
+    non-decreasing in the per-migration price, hence so is the minimum."""
+    rng = np.random.default_rng(seed)
+    trace = random_trace(rng, rounds=8, max_requests=3)
+    low, high = sorted(betas)
+    cheap, _ = Opt.solve(
+        SUB, trace, CostModel(migration=low, creation=100.0, run_inactive=0.5)
+    )
+    dear, _ = Opt.solve(
+        SUB, trace, CostModel(migration=high, creation=100.0, run_inactive=0.5)
+    )
+    assert cheap <= dear + 1e-9
 
 
 @settings(max_examples=20, **SLOW)
@@ -157,3 +202,132 @@ def test_transition_triangle_inequality_via_intermediate(seed):
     direct = price_transition(a, c, costs).cost
     two_step = price_transition(a, b, costs).cost + price_transition(b, c, costs).cost
     assert direct <= two_step + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Spec serialisation: to_dict -> JSON -> from_dict is lossless
+# ---------------------------------------------------------------------------
+
+#: Component/parameter names: non-empty, no surrounding whitespace (specs
+#: strip kinds and labels, so padded names would not round-trip verbatim).
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-", min_size=1, max_size=10
+)
+
+#: JSON-safe parameter scalars, plus one level of list nesting (specs
+#: freeze sequences to tuples on both construction and from_dict).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-10**6, 10**6),
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    _names,
+)
+_params = st.dictionaries(
+    _names, st.one_of(_scalars, st.lists(_scalars, max_size=3)), max_size=3
+)
+
+
+@st.composite
+def cost_specs(draw):
+    load = draw(st.sampled_from(["linear", "quadratic", "power"]))
+    run_active = draw(st.floats(0, 100, allow_nan=False))
+    return CostSpec(
+        migration=draw(st.floats(0, 1e4, allow_nan=False)),
+        creation=draw(st.floats(0, 1e4, allow_nan=False)),
+        run_active=run_active,
+        # the cost model rejects idle servers dearer than active ones
+        run_inactive=draw(st.floats(0, run_active, allow_nan=False)),
+        wireless_hop=draw(st.floats(0, 10, allow_nan=False)),
+        load=load,
+        load_exponent=draw(st.floats(1.0, 3.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def experiment_specs(draw):
+    policies = []
+    labels = draw(
+        st.lists(_names, min_size=1, max_size=3, unique=True)
+    )
+    for label in labels:
+        policies.append(
+            PolicySpec(
+                kind=draw(_names),
+                params=draw(_params),
+                label=label,
+                costs=draw(st.none() | cost_specs()),
+                scenario=(
+                    ScenarioSpec(draw(_names), draw(_params))
+                    if draw(st.booleans())
+                    else None
+                ),
+            )
+        )
+    metric_kinds = draw(st.lists(_names, min_size=1, max_size=2, unique=True))
+    return ExperimentSpec(
+        topology=TopologySpec(draw(_names), draw(_params)),
+        scenario=ScenarioSpec(draw(_names), draw(_params)),
+        policies=tuple(policies),
+        costs=draw(cost_specs()),
+        horizon=draw(st.integers(1, 10_000)),
+        routing=draw(st.sampled_from(["nearest", "load_aware"])),
+        seed=draw(st.integers(0, 2**31)),
+        name=draw(st.one_of(st.just(""), _names)),
+        metrics=tuple(MetricSpec(kind, draw(_params)) for kind in metric_kinds),
+    )
+
+
+@st.composite
+def sweep_specs(draw):
+    experiment = draw(experiment_specs())
+    shape = draw(st.sampled_from(["none", "horizon", "component", "coupled"]))
+    if shape == "none":
+        parameter, values = None, draw(
+            st.lists(_scalars.filter(lambda v: v is not None),
+                     min_size=1, max_size=3).map(tuple)
+        )
+    elif shape == "horizon":
+        parameter = "horizon"
+        values = tuple(draw(st.lists(st.integers(1, 1000), min_size=1,
+                                     max_size=4)))
+    elif shape == "component":
+        parameter = f"scenario.{draw(_names)}"
+        values = tuple(draw(st.lists(_scalars, min_size=1, max_size=4)))
+    else:
+        paths = (f"scenario.{draw(_names)}", f"topology.{draw(_names)}")
+        values = tuple(
+            (draw(_scalars), draw(_scalars))
+            for _ in range(draw(st.integers(1, 3)))
+        )
+        parameter = paths
+    return SweepSpec(
+        experiment=experiment,
+        parameter=parameter,
+        values=values,
+        runs=draw(st.integers(1, 10)),
+        seed=draw(st.integers(0, 2**31)),
+        figure=draw(_names),
+        title=draw(st.one_of(st.just(""), _names)),
+        x_label=draw(st.one_of(st.just(""), _names)),
+        notes=draw(st.one_of(st.just(""), _names)),
+    )
+
+
+@settings(max_examples=50, **SLOW)
+@given(spec=experiment_specs())
+def test_experiment_spec_round_trips_losslessly(spec):
+    restored = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert restored == spec
+    assert restored.cache_key() == spec.cache_key()
+
+
+@settings(max_examples=50, **SLOW)
+@given(spec=sweep_specs())
+def test_sweep_spec_round_trips_losslessly(spec):
+    restored = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert restored == spec
+    assert restored.cache_key() == spec.cache_key()
+    # the restored sweep substitutes points identically
+    for value in spec.values:
+        assert restored.experiment_at(value) == spec.experiment_at(value)
