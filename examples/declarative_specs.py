@@ -19,7 +19,11 @@ it runs. This example
    ``run_sweep(..., shard=(i, n))`` — each fills a disjoint subset of the
    per-point cache entries, and the assembly pass reproduces the serial
    result bit for bit without simulating. The same cache makes interrupted
-   sweeps resumable: only missing points are recomputed.
+   sweeps resumable: only missing points are recomputed, and
+8. attaches a :class:`ReplicationSpec` for confidence-aware replication:
+   per-point confidence intervals (error bars / shaded bands), adaptive
+   top-ups until every point's CI meets a halfwidth target, and an
+   error-band figure rendered straight to the terminal.
 
 Run:  python examples/declarative_specs.py
 """
@@ -32,6 +36,7 @@ from repro import (
     MetricSpec,
     PolicySpec,
     ProcessPoolBackend,
+    ReplicationSpec,
     ResultCache,
     ScenarioSpec,
     SweepSpec,
@@ -39,6 +44,7 @@ from repro import (
     run_experiment,
     run_sweep,
 )
+from repro.experiments.plotting import render_figure_chart
 
 
 def main() -> None:
@@ -152,6 +158,40 @@ def main() -> None:
         print(
             "sharded 2-way + assembled from the warm cache, bit-identical\n"
             "  CLI: ... --cache-dir DIR --shard 1/2   (then 2/2, then assemble)"
+        )
+
+    # 8. Confidence-aware replication: every sweep point tops itself up —
+    #    cache-first, marginal seeds only — until the 95% CI of every series
+    #    is within ±10% of its mean, or the point hits max_runs. Low-variance
+    #    points stop early, so per-point n varies; the result carries
+    #    mean/stderr/CI/n per point and renders with shaded error bands.
+    adaptive = SweepSpec(
+        experiment=ratio_sweep.experiment,
+        parameter=ratio_sweep.parameter,
+        values=ratio_sweep.values,
+        runs=3,
+        seed=7,
+        figure="example-ci",
+        x_label="λ",
+        replication=ReplicationSpec(
+            ci_level=0.95, target_halfwidth=0.10, relative=True, max_runs=12,
+        ),
+    )
+    with tempfile.TemporaryDirectory() as root:
+        cache = ResultCache(root)
+        confident = run_sweep(adaptive, cache=cache)
+        print("\nadaptive replication (CI within ±10% of the mean):")
+        for x, summary in zip(
+            confident.x_values, confident.point_summaries("ONTH")
+        ):
+            print(f"  λ={x:<3} {summary}")
+        print(render_figure_chart(confident, width=56, height=12))
+        rerun = ResultCache(root)
+        assert run_sweep(adaptive, cache=rerun) == confident
+        assert rerun.point_stores == 0 and rerun.extension_stores == 0
+        print(
+            "warm re-run simulated zero replicates;\n"
+            "  CLI: ... --ci 0.95 --target-halfwidth 10% --max-runs 12"
         )
 
 

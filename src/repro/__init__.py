@@ -31,6 +31,7 @@ from repro.api import (
     MetricSpec,
     PolicySpec,
     ProcessPoolBackend,
+    ReplicationSpec,
     ResultCache,
     ScenarioSpec,
     SerialBackend,
@@ -48,6 +49,7 @@ from repro.api import (
     resolve_policy,
     resolve_scenario,
     resolve_topology,
+    refine_sweep,
     run_experiment,
     run_sweep,
 )
@@ -121,11 +123,13 @@ __all__ = [
     "PolicySpec",
     "CostSpec",
     "MetricSpec",
+    "ReplicationSpec",
     "ExperimentSpec",
     "SweepSpec",
     "SerialBackend",
     "ProcessPoolBackend",
     "ResultCache",
+    "refine_sweep",
     "run_experiment",
     "run_sweep",
     "register_policy",

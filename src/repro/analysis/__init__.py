@@ -3,10 +3,15 @@
 from repro.analysis.competitive import competitive_ratio_vs_opt, cost_ratio
 from repro.analysis.demand import churn, hotspot_dwell, spatial_spread
 from repro.analysis.stats import (
+    ConfidenceInterval,
     MeanStderr,
+    PointSummary,
     average_breakdown,
     average_total,
+    confidence_interval,
     mean_stderr,
+    point_summary,
+    t_critical,
 )
 
 __all__ = [
@@ -15,8 +20,13 @@ __all__ = [
     "churn",
     "hotspot_dwell",
     "spatial_spread",
+    "ConfidenceInterval",
     "MeanStderr",
+    "PointSummary",
     "average_breakdown",
     "average_total",
+    "confidence_interval",
     "mean_stderr",
+    "point_summary",
+    "t_critical",
 ]

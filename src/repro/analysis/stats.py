@@ -1,8 +1,22 @@
 """Summary statistics for multi-run experiments.
 
 Every figure of §V averages over 5-10 independent runs; these helpers keep
-that aggregation in one place (mean, standard error, and component-wise
-averaging of cost breakdowns).
+that aggregation in one place:
+
+* :func:`mean_stderr` — mean and standard error of the mean,
+* :func:`confidence_interval` — a t-based (default) or BCa-bootstrap
+  confidence interval for the mean,
+* :func:`point_summary` / :class:`PointSummary` — the full per-sweep-point
+  summary (mean, stderr, CI, n) that adaptive replication and the error-bar
+  rendering consume,
+* :func:`average_breakdown` / :func:`average_total` — component-wise
+  averaging of cost breakdowns and totals.
+
+All estimators reject non-finite samples with a clear :class:`ValueError`
+rather than propagating ``nan`` into figures, and are deterministic: the
+bootstrap draws from a fixed-seed generator and resamples the *sorted*
+sample vector, so the interval is invariant under permutations of the
+input samples.
 """
 
 from __future__ import annotations
@@ -15,7 +29,24 @@ import numpy as np
 
 from repro.core.results import CostBreakdown, RunResult
 
-__all__ = ["MeanStderr", "mean_stderr", "average_breakdown", "average_total"]
+__all__ = [
+    "CI_METHODS",
+    "ConfidenceInterval",
+    "MeanStderr",
+    "PointSummary",
+    "average_breakdown",
+    "average_total",
+    "confidence_interval",
+    "mean_stderr",
+    "point_summary",
+    "t_critical",
+]
+
+#: Interval methods accepted by :func:`confidence_interval`.
+CI_METHODS = ("t", "bootstrap")
+
+#: Default resample count of the BCa bootstrap.
+DEFAULT_BOOTSTRAP_SAMPLES = 2000
 
 
 @dataclass(frozen=True)
@@ -30,9 +61,104 @@ class MeanStderr:
         return f"{self.mean:.1f} ± {self.stderr:.1f}"
 
 
-def mean_stderr(values: Sequence[float]) -> MeanStderr:
-    """Mean and standard error of the mean (ddof=1; stderr 0 for n < 2)."""
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a mean.
+
+    ``level`` is the nominal coverage (0.95 = 95%); ``level = 0`` denotes
+    the degenerate interval collapsing to the point estimate.
+    """
+
+    low: float
+    high: float
+    level: float
+    method: str = "t"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level < 1.0:
+            raise ValueError(
+                f"confidence level must be in [0, 1), got {self.level}"
+            )
+        if self.method not in CI_METHODS:
+            raise ValueError(
+                f"unknown CI method {self.method!r}; expected one of {CI_METHODS}"
+            )
+        if self.low > self.high:
+            raise ValueError(f"inverted interval [{self.low}, {self.high}]")
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the interval width — the ± of an error bar."""
+        return (self.high - self.low) / 2.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.low:.2f}, {self.high:.2f}] @ {self.level:.0%}"
+
+
+@dataclass(frozen=True)
+class PointSummary:
+    """Everything a figure needs to know about one sweep point's samples.
+
+    The adaptive replication loop decides from this whether a point needs
+    more replicates; the reporting/plotting layers render ``mean ± ci``
+    and the per-point ``n``.
+    """
+
+    mean: float
+    stderr: float
+    n: int
+    ci: ConfidenceInterval
+
+    @property
+    def halfwidth(self) -> float:
+        """The CI halfwidth (0 for degenerate intervals)."""
+        return self.ci.halfwidth
+
+    def relative_halfwidth(self) -> float:
+        """Halfwidth as a fraction of ``|mean|`` (``inf`` for a zero mean)."""
+        if self.mean == 0.0:
+            return math.inf if self.halfwidth > 0 else 0.0
+        return self.halfwidth / abs(self.mean)
+
+    def meets(self, target_halfwidth: float, relative: bool = False) -> bool:
+        """Does the CI meet an absolute (or relative) halfwidth target?
+
+        A single sample never meets a positive target: with ``n = 1`` the
+        stderr (hence the halfwidth) is identically zero, which says
+        nothing about the estimator's precision.
+        """
+        if target_halfwidth < 0:
+            raise ValueError(f"target halfwidth must be >= 0, got {target_halfwidth}")
+        if self.n < 2 and target_halfwidth > 0:
+            return False
+        width = self.relative_halfwidth() if relative else self.halfwidth
+        return width <= target_halfwidth
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.1f} ± {self.halfwidth:.1f} (n={self.n})"
+
+
+def _finite_array(values: Sequence[float], what: str) -> np.ndarray:
+    """``values`` as a float array, rejecting NaN/inf with a clear error."""
     arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size and not np.isfinite(arr).all():
+        bad = arr[~np.isfinite(arr)][0]
+        raise ValueError(
+            f"{what} requires finite samples, got {bad!r}; non-finite "
+            "replicate output indicates a corrupt cache entry or a broken "
+            "metric and must not average silently into a figure"
+        )
+    return arr
+
+
+def mean_stderr(values: Sequence[float]) -> MeanStderr:
+    """Mean and standard error of the mean (ddof=1; stderr 0 for n < 2).
+
+    Raises :class:`ValueError` for an empty sequence and for non-finite
+    samples — a ``nan`` replicate must fail loudly, not propagate into
+    averaged series.
+    """
+    arr = _finite_array(values, "mean_stderr")
     if arr.size == 0:
         raise ValueError("mean_stderr needs at least one value")
     if arr.size == 1:
@@ -44,13 +170,148 @@ def mean_stderr(values: Sequence[float]) -> MeanStderr:
     )
 
 
+def t_critical(level: float, dof: int) -> float:
+    """The two-sided Student-t critical value at confidence ``level``.
+
+    ``t_critical(0.95, n - 1)`` is the multiplier turning a standard error
+    into a 95% CI halfwidth. ``level = 0`` returns 0 (degenerate interval).
+    """
+    if not 0.0 <= level < 1.0:
+        raise ValueError(f"confidence level must be in [0, 1), got {level}")
+    if dof < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {dof}")
+    if level == 0.0:
+        return 0.0
+    from scipy.stats import t
+
+    return float(t.ppf(0.5 + level / 2.0, dof))
+
+
+def _t_interval(arr: np.ndarray, level: float) -> ConfidenceInterval:
+    stat = mean_stderr(arr)
+    if stat.n < 2 or level == 0.0:
+        return ConfidenceInterval(stat.mean, stat.mean, level, "t")
+    halfwidth = t_critical(level, stat.n - 1) * stat.stderr
+    return ConfidenceInterval(
+        stat.mean - halfwidth, stat.mean + halfwidth, level, "t"
+    )
+
+
+def _bootstrap_interval(
+    arr: np.ndarray,
+    level: float,
+    n_boot: int,
+    seed: int,
+) -> ConfidenceInterval:
+    """The BCa (bias-corrected and accelerated) bootstrap interval.
+
+    Resamples the *sorted* samples from a fixed-seed generator, so the
+    interval depends only on the multiset of samples (permutation
+    invariance) and is reproducible. Degenerates gracefully: constant
+    samples or ``level = 0`` collapse to the point estimate.
+    """
+    mean = float(arr.mean())
+    if level == 0.0 or arr.size < 2 or float(arr.std()) == 0.0:
+        return ConfidenceInterval(mean, mean, level, "bootstrap")
+
+    ordered = np.sort(arr)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, ordered.size, size=(n_boot, ordered.size))
+    boot_means = ordered[indices].mean(axis=1)
+
+    from scipy.stats import norm
+
+    # Bias correction: the normal quantile of the fraction of bootstrap
+    # means below the observed mean.
+    below = float(np.mean(boot_means < mean))
+    below = min(max(below, 1.0 / (n_boot + 1)), 1.0 - 1.0 / (n_boot + 1))
+    z0 = float(norm.ppf(below))
+    # Acceleration from the jackknife skewness of the mean.
+    jackknife = (ordered.sum() - ordered) / (ordered.size - 1)
+    centered = jackknife.mean() - jackknife
+    denom = float((centered**2).sum()) ** 1.5
+    accel = float((centered**3).sum()) / (6.0 * denom) if denom > 0 else 0.0
+
+    z = float(norm.ppf(0.5 + level / 2.0))
+    quantiles = []
+    for z_alpha in (-z, z):
+        adjusted = z0 + (z0 + z_alpha) / (1.0 - accel * (z0 + z_alpha))
+        quantiles.append(float(norm.cdf(adjusted)))
+    low, high = np.quantile(boot_means, sorted(quantiles))
+    return ConfidenceInterval(float(low), float(high), level, "bootstrap")
+
+
+def confidence_interval(
+    values: Sequence[float],
+    level: float = 0.95,
+    method: str = "t",
+    n_boot: int = DEFAULT_BOOTSTRAP_SAMPLES,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """A two-sided confidence interval for the mean of ``values``.
+
+    Args:
+        values: the samples (at least one; all finite).
+        level: nominal coverage in ``[0, 1)``; 0 collapses the interval to
+            the point estimate (useful as an "off" switch in sweeps).
+        method: ``"t"`` for the Student-t interval (exact under normality,
+            the paper-standard choice for 5-10 replicates) or
+            ``"bootstrap"`` for the BCa bootstrap (skew-robust, no
+            distributional assumption).
+        n_boot: bootstrap resample count (ignored for ``"t"``).
+        seed: bootstrap generator seed (ignored for ``"t"``). The samples
+            are sorted before resampling, so equal multisets yield equal
+            intervals regardless of order.
+
+    The t interval always contains the sample mean; with one sample either
+    method returns the degenerate interval at that sample.
+    """
+    if method not in CI_METHODS:
+        raise ValueError(
+            f"unknown CI method {method!r}; expected one of {CI_METHODS}"
+        )
+    if not 0.0 <= level < 1.0:
+        raise ValueError(f"confidence level must be in [0, 1), got {level}")
+    arr = _finite_array(values, "confidence_interval")
+    if arr.size == 0:
+        raise ValueError("confidence_interval needs at least one value")
+    if n_boot < 1:
+        raise ValueError(f"n_boot must be >= 1, got {n_boot}")
+    if method == "t":
+        return _t_interval(arr, level)
+    return _bootstrap_interval(arr, level, n_boot, seed)
+
+
+def point_summary(
+    values: Sequence[float],
+    level: float = 0.95,
+    method: str = "t",
+    n_boot: int = DEFAULT_BOOTSTRAP_SAMPLES,
+    seed: int = 0,
+) -> PointSummary:
+    """The full :class:`PointSummary` of one sweep point's samples."""
+    stat = mean_stderr(values)
+    ci = confidence_interval(
+        values, level=level, method=method, n_boot=n_boot, seed=seed
+    )
+    return PointSummary(mean=stat.mean, stderr=stat.stderr, n=stat.n, ci=ci)
+
+
 def average_total(results: Iterable[RunResult]) -> MeanStderr:
-    """Mean ± stderr of the total cost across runs."""
+    """Mean ± stderr of the total cost across runs.
+
+    Like :func:`mean_stderr` this raises on an empty iterable (n=0) and on
+    non-finite totals; a single run (n=1) yields stderr 0.
+    """
     return mean_stderr([r.total_cost for r in results])
 
 
 def average_breakdown(results: Iterable[RunResult]) -> CostBreakdown:
-    """Component-wise mean cost breakdown across runs."""
+    """Component-wise mean cost breakdown across runs.
+
+    Raises on an empty iterable (n=0); a single run (n=1) returns that
+    run's breakdown unchanged.
+    """
     results = list(results)
     if not results:
         raise ValueError("average_breakdown needs at least one run")

@@ -56,6 +56,7 @@ _EXPORTS = {
     "PolicySpec": "repro.api.specs",
     "CostSpec": "repro.api.specs",
     "MetricSpec": "repro.api.specs",
+    "ReplicationSpec": "repro.api.specs",
     "DEFAULT_METRICS": "repro.api.specs",
     "ExperimentSpec": "repro.api.specs",
     "SweepSpec": "repro.api.specs",
@@ -75,6 +76,7 @@ _EXPORTS = {
     # experiment
     "ExperimentResult": "repro.api.experiment",
     "SpecReplicate": "repro.api.experiment",
+    "refine_sweep": "repro.api.experiment",
     "resolve_series_labels": "repro.api.experiment",
     "run_experiment": "repro.api.experiment",
     "run_replicate": "repro.api.experiment",

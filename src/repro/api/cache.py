@@ -29,6 +29,22 @@ memoize results on disk at two granularities:
   ``(sweep_seed, spawn_start, runs)`` next to the experiment dict — the
   complete provenance of the stored samples.
 
+* **point-extension entries** — one adaptive top-up batch of replicates
+  beyond a point's initial block (:meth:`~ResultCache.load_point_extension`
+  / :meth:`~ResultCache.store_point_extension`), keyed on the experiment
+  plus ``(sweep_seed, point_index, start, runs)``. Top-up seeds depend only
+  on the sweep seed and the absolute replicate position (see
+  :func:`~repro.experiments.runner.spawn_point_extension_tasks`), so any
+  adaptive sweep whose schedule revisits the same coordinates — a resumed
+  run, another shard, a refined grid — reuses the batch instead of
+  re-simulating it. Plain point entries carry no replication metadata at
+  all, so replication-unaware and adaptive sweeps running the same code
+  share them: a point warmed by a plain sweep counts toward an adaptive
+  target as the initial block, and vice versa. (As with every entry kind,
+  sharing is per installed code version — keys embed the source
+  fingerprint, so upgrading the package re-simulates rather than replaying
+  results from different code.)
+
 Every key is a SHA-256 over the canonical (sorted-keys) JSON of the payload
 identity plus the package version, a fingerprint of the installed package's
 source files and a cache schema number — so upgrading the code, *editing*
@@ -51,6 +67,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import tempfile
 import time
@@ -108,6 +125,8 @@ class ResultCache:
         point_hits/point_misses/point_stores: the same counters for point
             entries; ``point_hits`` is how many sweep points a resumed run
             loaded instead of recomputing.
+        extension_hits/extension_misses/extension_stores: the counters for
+            adaptive top-up batches (point-extension entries).
     """
 
     def __init__(self, root: "str | os.PathLike") -> None:
@@ -118,6 +137,9 @@ class ResultCache:
         self.point_hits = 0
         self.point_misses = 0
         self.point_stores = 0
+        self.extension_hits = 0
+        self.extension_misses = 0
+        self.extension_stores = 0
 
     # -- keys -------------------------------------------------------------------
 
@@ -170,6 +192,33 @@ class ResultCache:
                 experiment=experiment.cache_key(),
                 sweep_seed=int(sweep_seed),
                 spawn_start=int(spawn_start),
+                runs=int(runs),
+            )
+        )
+
+    def key_for_point_extension(
+        self,
+        experiment: "ExperimentSpec",
+        sweep_seed: int,
+        point_index: int,
+        start: int,
+        runs: int,
+    ) -> str:
+        """The key of one adaptive top-up batch at one sweep point.
+
+        ``(point_index, start, runs)`` pin the batch's replicate positions
+        ``start .. start + runs`` within point ``point_index``'s extension
+        stream; together with the experiment content key and the sweep seed
+        they determine the samples bit for bit (see
+        :func:`~repro.experiments.runner.spawn_point_extension_tasks`).
+        """
+        return self._digest(
+            self._identity(
+                kind="point-extension",
+                experiment=experiment.cache_key(),
+                sweep_seed=int(sweep_seed),
+                point_index=int(point_index),
+                start=int(start),
                 runs=int(runs),
             )
         )
@@ -254,19 +303,37 @@ class ResultCache:
         ):
             self.point_misses += 1
             return None
-        samples = data.get("samples")
-        try:
-            if not isinstance(samples, list) or len(samples) != int(runs):
-                raise ValueError(samples)
-            samples = [
-                {str(name): float(value) for name, value in sample.items()}
-                for sample in samples
-            ]
-        except (AttributeError, TypeError, ValueError):
+        samples = self._decode_samples(data.get("samples"), runs)
+        if samples is None:
             self.point_misses += 1
             return None
         self.point_hits += 1
         return samples
+
+    @staticmethod
+    def _decode_samples(samples, runs: int) -> "list[dict[str, float]] | None":
+        """Validate a stored sample block; ``None`` marks the entry corrupt.
+
+        A block must be a list of exactly ``runs`` name → float mappings
+        with *finite* values: a NaN/inf smuggled in by a truncated write or
+        a hand edit would otherwise flow into mean/CI arithmetic (which now
+        rejects non-finite input loudly) — corrupt entries must read as
+        misses instead.
+        """
+        try:
+            if not isinstance(samples, list) or len(samples) != int(runs):
+                raise ValueError(samples)
+            decoded = [
+                {str(name): float(value) for name, value in sample.items()}
+                for sample in samples
+            ]
+            for sample in decoded:
+                for value in sample.values():
+                    if not math.isfinite(value):
+                        raise ValueError(value)
+        except (AttributeError, TypeError, ValueError):
+            return None
+        return decoded
 
     def store_point(
         self,
@@ -299,6 +366,83 @@ class ResultCache:
         }
         self._write(path, payload)
         self.point_stores += 1
+        return path
+
+    def load_point_extension(
+        self,
+        experiment: "ExperimentSpec",
+        sweep_seed: int,
+        point_index: int,
+        start: int,
+        runs: int,
+    ) -> "list[dict[str, float]] | None":
+        """One cached adaptive top-up batch, or ``None`` on a miss.
+
+        Mirrors :meth:`load_point` for the extension stream: corrupt
+        entries, coordinate mismatches and malformed or non-finite sample
+        blocks are misses.
+        """
+        path = self.path_for_key(
+            self.key_for_point_extension(
+                experiment, sweep_seed, point_index, start, runs
+            )
+        )
+        data = self._read(path)
+        if data is None:
+            self.extension_misses += 1
+            return None
+        if (
+            data.get("schema") != CACHE_SCHEMA
+            or data.get("kind") != "point-extension"
+            or data.get("experiment") != experiment.to_dict()
+            or data.get("sweep_seed") != int(sweep_seed)
+            or data.get("point_index") != int(point_index)
+            or data.get("start") != int(start)
+        ):
+            self.extension_misses += 1
+            return None
+        samples = self._decode_samples(data.get("samples"), runs)
+        if samples is None:
+            self.extension_misses += 1
+            return None
+        self.extension_hits += 1
+        return samples
+
+    def store_point_extension(
+        self,
+        experiment: "ExperimentSpec",
+        sweep_seed: int,
+        point_index: int,
+        start: int,
+        runs: int,
+        samples: "Sequence[Mapping[str, float]]",
+    ) -> Path:
+        """Persist one adaptive top-up batch; returns the entry path."""
+        import repro
+
+        if len(samples) != int(runs):
+            raise ValueError(f"{len(samples)} samples for runs={runs}")
+        key = self.key_for_point_extension(
+            experiment, sweep_seed, point_index, start, runs
+        )
+        path = self.path_for_key(key)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": repro.__version__,
+            "kind": "point-extension",
+            "key": key,
+            "experiment": experiment.to_dict(),
+            "sweep_seed": int(sweep_seed),
+            "point_index": int(point_index),
+            "start": int(start),
+            "runs": int(runs),
+            "samples": [
+                {str(name): float(value) for name, value in sample.items()}
+                for sample in samples
+            ],
+        }
+        self._write(path, payload)
+        self.extension_stores += 1
         return path
 
     @staticmethod

@@ -29,13 +29,14 @@ after the last simulation without consuming any randomness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.api.execution import ExecutionBackend, SerialBackend
+from repro.analysis.stats import point_summary, t_critical
+from repro.api.execution import ExecutionBackend, ReplicateTask, SerialBackend
 from repro.api.metrics import MetricContext, PolicyRun, evaluate_metrics
-from repro.api.specs import ExperimentSpec, SweepSpec
+from repro.api.specs import ExperimentSpec, ReplicationSpec, SweepSpec
 from repro.core.results import RunResult
 from repro.core.simulator import simulate
 from repro.workload.base import generate_trace
@@ -47,6 +48,7 @@ from repro.workload.base import generate_trace
 __all__ = [
     "ExperimentResult",
     "SpecReplicate",
+    "refine_sweep",
     "resolve_series_labels",
     "run_experiment",
     "run_replicate",
@@ -256,6 +258,7 @@ def run_sweep(
     cache: "ResultCache | None" = None,
     shard: "tuple[int, int] | None" = None,
     resume: bool = True,
+    replication: "ReplicationSpec | None" = None,
 ) -> "FigureResult":
     """Run the sweep described by ``spec`` and aggregate a figure result.
 
@@ -280,11 +283,26 @@ def run_sweep(
             sweep interrupted mid-run, or invalidated for a subset of
             points, re-simulates only the missing points on the next call.
             ``False`` restores all-or-nothing caching at the sweep level.
+        replication: convenience override for
+            :attr:`~repro.api.specs.SweepSpec.replication` — the spec is
+            replaced with this :class:`ReplicationSpec` (or spec dict)
+            before anything runs, so figure functions can thread a CLI
+            replication request through without rebuilding their specs.
+
+    With a replication spec requesting confidence intervals
+    (``ci_level > 0``), the result carries per-point CI bounds and
+    replicate counts; a ``target_halfwidth`` additionally turns the sweep
+    adaptive — points top up replicates (cache-first, through the same
+    backend/shard machinery) until their CIs meet the target or hit
+    ``max_runs``. Without a replication spec the behaviour — and the
+    result, bit for bit — is the historical fixed-``runs`` sweep.
 
     Serial, process-pool and sharded execution are bit-identical: every
     task's child seed depends only on its position (see
-    :func:`~repro.experiments.runner.spawn_tasks`), and aggregation is pure
-    arithmetic over the per-replicate samples wherever they came from.
+    :func:`~repro.experiments.runner.spawn_tasks` and
+    :func:`~repro.experiments.runner.spawn_point_extension_tasks`), and
+    aggregation is pure arithmetic over the per-replicate samples wherever
+    they came from.
     """
     from repro.experiments.runner import (
         SeriesValidator,
@@ -292,6 +310,11 @@ def run_sweep(
         spawn_tasks,
         sweep_experiment,
     )
+
+    if replication is not None:
+        if not isinstance(replication, ReplicationSpec):
+            replication = ReplicationSpec.from_dict(replication)
+        spec = replace(spec, replication=replication)
 
     shard = _normalize_shard(shard)
     if shard is not None and cache is None:
@@ -309,6 +332,15 @@ def run_sweep(
         if cached is not None:
             return cached
 
+    if spec.replication is not None and spec.replication.ci_level > 0:
+        # Confidence-aware path: per-point CI annotations and (with a
+        # target) adaptive replication. A replication spec with
+        # ci_level=0 is a pure runs override and stays on the plain
+        # paths below, whose output is bit-identical to a fixed-runs
+        # sweep.
+        return _run_confidence_sweep(spec, backend, cache, shard, resume)
+
+    runs = spec.effective_runs
     if cache is None or not resume:
         # All-or-nothing path: no per-point entries to probe or fill.
         result = _display_x(
@@ -319,7 +351,7 @@ def run_sweep(
                 x_label=spec.resolved_x_label(),
                 x_values=spec.values,
                 replicate=SpecReplicate(spec),
-                runs=spec.runs,
+                runs=runs,
                 seed=spec.seed,
                 notes=spec.notes,
                 backend=backend,
@@ -333,7 +365,6 @@ def run_sweep(
     # computed ones, storing each fresh point as soon as its replicates are
     # in — an interruption loses at most the points still in flight.
     x_values = list(spec.values)
-    runs = spec.runs
     tasks = spawn_tasks(x_values, runs, spec.seed)
     point_specs = [spec.experiment_at(x) for x in x_values]
 
@@ -432,3 +463,453 @@ def run_sweep(
     )
     cache.store(spec, result)
     return result
+
+
+def _point_met(
+    samples: "Sequence[Mapping[str, float]]", rep: ReplicationSpec
+) -> bool:
+    """Does every series at this point meet the CI halfwidth target?
+
+    A point with fewer than two replicates never qualifies — its stderr is
+    identically zero, which proves nothing about precision.
+    """
+    if len(samples) < 2:
+        return False
+    for name in samples[0]:
+        summary = point_summary(
+            [sample[name] for sample in samples],
+            level=rep.ci_level,
+            method=rep.method,
+        )
+        if not summary.meets(rep.target_halfwidth, rep.relative):
+            return False
+    return True
+
+
+def _run_batched(backend, replicate, spans, validator) -> None:
+    """Run several task blocks as one backend batch, committing per block.
+
+    ``spans`` is a list of ``(tasks, commit)`` pairs; ``commit(block)`` is
+    invoked with a block's samples the moment its last replicate lands
+    (results arrive in task order), so a crash mid-batch loses at most the
+    blocks still in flight. Backends that ignore (or only partially drive)
+    the result hook are backstopped from the returned list.
+    """
+    tasks = [task for block_tasks, _commit in spans for task in block_tasks]
+    bounds = [0]
+    for block_tasks, _commit in spans:
+        bounds.append(bounds[-1] + len(block_tasks))
+
+    seen: "list[Mapping[str, float]]" = []
+    committed = 0
+
+    def on_result(index, task, sample) -> None:
+        nonlocal committed
+        validator(index, task, sample)
+        seen.append(sample)
+        while committed < len(spans) and len(seen) >= bounds[committed + 1]:
+            spans[committed][1](seen[bounds[committed] : bounds[committed + 1]])
+            committed += 1
+
+    results = backend.run_replicates(replicate, tasks, on_result=on_result)
+    for index in range(len(seen), len(tasks)):
+        validator(index, tasks[index], results[index])
+    for k in range(committed, len(spans)):
+        spans[k][1](results[bounds[k] : bounds[k + 1]])
+
+
+def _run_confidence_sweep(
+    spec: SweepSpec,
+    backend: "ExecutionBackend | None",
+    cache: "ResultCache | None",
+    shard: "tuple[int, int] | None",
+    resume: bool,
+) -> "FigureResult":
+    """The confidence-aware sweep engine behind :func:`run_sweep`.
+
+    Phase 1 materialises every point's *initial* replicate block exactly
+    like the plain resumable path — same flat task seeds, same point cache
+    entries, so blocks cached by replication-unaware sweeps (or written
+    before replication existed) are reused as-is. Phase 2, only under an
+    adaptive replication spec, tops needy points up batch by batch:
+    cache-first (point-extension entries), then the marginal seeds through
+    the backend. The schedule at a point depends only on that point's
+    samples, so shards never coordinate and serial, pooled and sharded
+    execution stay bit-identical.
+    """
+    from repro.experiments.runner import (
+        SeriesValidator,
+        aggregate_point_summaries,
+        spawn_point_extension_tasks,
+        spawn_tasks,
+    )
+
+    rep = spec.replication
+    runs = spec.effective_runs
+    if rep.adaptive and rep.max_runs < runs:
+        raise ValueError(
+            f"ReplicationSpec.max_runs ({rep.max_runs}) is below the "
+            f"initial replicate count ({runs})"
+        )
+    if backend is None:
+        backend = SerialBackend()
+    x_values = list(spec.values)
+    n_points = len(x_values)
+    point_specs = [spec.experiment_at(x) for x in x_values]
+    replicate = SpecReplicate(spec)
+    validator = SeriesValidator(runs)
+    use_points = cache is not None and resume
+
+    def is_mine(i: int) -> bool:
+        return shard is None or i % shard[1] == shard[0]
+
+    # -- phase 1: initial blocks (flat seeds, plain point entries) ----------
+    samples: "list[list[Mapping[str, float]] | None]" = [None] * n_points
+    pending_initial: "list[int]" = []
+    for i in range(n_points):
+        block = (
+            cache.load_point(point_specs[i], spec.seed, i * runs, runs)
+            if use_points
+            else None
+        )
+        if block is not None:
+            samples[i] = list(block)
+        elif is_mine(i):
+            pending_initial.append(i)
+
+    if pending_initial:
+        tasks = spawn_tasks(x_values, runs, spec.seed)
+
+        def initial_commit(i: int):
+            def commit(block) -> None:
+                samples[i] = list(block)
+                if use_points:
+                    cache.store_point(
+                        point_specs[i], spec.seed, i * runs, runs, block
+                    )
+
+            return commit
+
+        _run_batched(
+            backend,
+            replicate,
+            [
+                (tasks[i * runs : (i + 1) * runs], initial_commit(i))
+                for i in pending_initial
+            ],
+            validator,
+        )
+
+    # -- phase 2: adaptive top-ups ------------------------------------------
+    incomplete = {i for i in range(n_points) if samples[i] is None}
+    if rep.adaptive:
+        batch = rep.batch_size(spec.runs)
+        # A point leaves `open_points` once it is terminal — target met,
+        # max_runs reached, or owned by an unfinished other shard. Its
+        # samples can never change after that, so re-running the CI check
+        # (a full bootstrap per series under method="bootstrap") every
+        # round for settled points would be pure waste.
+        open_points = [i for i in range(n_points) if i not in incomplete]
+        while open_points:
+            spans = []
+            progressed = False
+            still_open = []
+            for i in open_points:
+                have = len(samples[i])
+                if have >= rep.max_runs or _point_met(samples[i], rep):
+                    continue
+                size = min(batch, rep.max_runs - have)
+                block = (
+                    cache.load_point_extension(
+                        point_specs[i], spec.seed, i, have, size
+                    )
+                    if use_points
+                    else None
+                )
+                if block is not None:
+                    samples[i].extend(block)
+                    progressed = True
+                    still_open.append(i)
+                elif is_mine(i):
+
+                    def extension_commit(i=i, have=have, size=size):
+                        def commit(block) -> None:
+                            if use_points:
+                                cache.store_point_extension(
+                                    point_specs[i], spec.seed, i, have, size,
+                                    block,
+                                )
+                            samples[i].extend(block)
+
+                        return commit
+
+                    spans.append(
+                        (
+                            spawn_point_extension_tasks(
+                                x_values[i], i, have, size, spec.seed
+                            ),
+                            extension_commit(),
+                        )
+                    )
+                    still_open.append(i)
+                else:
+                    # Another shard owns this point and has not finished
+                    # its top-ups yet; leave it to them.
+                    incomplete.add(i)
+            open_points = still_open
+            if spans:
+                _run_batched(backend, replicate, spans, validator)
+                progressed = True
+            if not progressed:
+                break
+
+    # Cached and fresh samples must agree on the series key set — a cached
+    # block from an older metric line-up mixed with fresh ones would
+    # otherwise aggregate into misaligned series.
+    check = SeriesValidator(runs)
+    index = 0
+    for i in range(n_points):
+        for sample in samples[i] or ():
+            check(index, ReplicateTask(x=x_values[i], seed=None), sample)
+            index += 1
+
+    complete = [i for i in range(n_points) if i not in incomplete]
+    if len(complete) < n_points:
+        # Only reachable in shard mode: other shards' points are missing
+        # or mid-top-up. Return what is finished — callers fan shards out
+        # in parallel and let any later full run assemble the figure.
+        partial = aggregate_point_summaries(
+            figure=spec.figure,
+            title=spec.resolved_title(),
+            x_label=spec.resolved_x_label(),
+            x_values=[x_values[i] for i in complete],
+            point_samples=[samples[i] for i in complete],
+            ci_level=rep.ci_level,
+            method=rep.method,
+            notes=(
+                f"partial: {len(complete)}/{n_points} points "
+                f"(shard {shard[0] + 1}/{shard[1]}); rerun unsharded to "
+                "assemble"
+            ),
+        )
+        return _display_x(spec, partial)
+
+    result = _display_x(
+        spec,
+        aggregate_point_summaries(
+            figure=spec.figure,
+            title=spec.resolved_title(),
+            x_label=spec.resolved_x_label(),
+            x_values=x_values,
+            point_samples=samples,
+            ci_level=rep.ci_level,
+            method=rep.method,
+            notes=spec.notes,
+        ),
+    )
+    if cache is not None:
+        cache.store(spec, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Grid refinement: bisect where confidence intervals leave orderings open
+# ---------------------------------------------------------------------------
+
+
+def _series_halfwidths(
+    result: "FigureResult", spec: SweepSpec, level: float
+) -> "dict[str, tuple]":
+    """Per-series, per-point CI halfwidths of ``result``.
+
+    Stored CI bounds are used when present; otherwise halfwidths are
+    derived from the standard errors with a Student-t critical value at
+    ``level`` (every point of a plain sweep has ``spec.effective_runs``
+    replicates).
+    """
+    if result.has_confidence:
+        return {
+            name: tuple((high - low) / 2.0 for low, high in result.ci[name])
+            for name in result.series_names
+        }
+    runs = spec.effective_runs
+    if runs < 2:
+        raise ValueError(
+            "grid refinement needs interval estimates: run the sweep with "
+            "runs >= 2 (or a ReplicationSpec) so per-point CIs exist"
+        )
+    critical = t_critical(level, runs - 1)
+    zeros = (0.0,) * len(result.x_values)
+    return {
+        name: tuple(
+            critical * e for e in result.errors.get(name, zeros)
+        )
+        for name in result.series_names
+    }
+
+
+def _ambiguous_intervals(
+    result: "FigureResult", halfwidths: "Mapping[str, tuple]"
+) -> "list[tuple]":
+    """Adjacent x intervals whose policy ordering the CIs leave open.
+
+    For every adjacent pair of sweep points (in x order) and every pair of
+    series, the ordering is *settled* over the interval iff the two
+    series' CIs are disjoint at both endpoints with the same sign of the
+    difference. Any unsettled pair — overlapping CIs at either endpoint,
+    or a sign flip (a crossing) between them — marks the interval for
+    bisection. Intervals are returned in x order.
+    """
+    names = result.series_names
+    xs = result.x_values
+    order = sorted(range(len(xs)), key=lambda i: xs[i])
+    intervals = []
+    for position in range(len(order) - 1):
+        k0, k1 = order[position], order[position + 1]
+        ambiguous = False
+        for a_index in range(len(names)):
+            for b_index in range(a_index + 1, len(names)):
+                a, b = names[a_index], names[b_index]
+                d0 = result.series[a][k0] - result.series[b][k0]
+                d1 = result.series[a][k1] - result.series[b][k1]
+                separated0 = abs(d0) > halfwidths[a][k0] + halfwidths[b][k0]
+                separated1 = abs(d1) > halfwidths[a][k1] + halfwidths[b][k1]
+                if not (separated0 and separated1 and (d0 > 0) == (d1 > 0)):
+                    ambiguous = True
+                    break
+            if ambiguous:
+                break
+        if ambiguous:
+            intervals.append((xs[k0], xs[k1]))
+    return intervals
+
+
+def _midpoint(x0, x1, min_spacing: "float | None"):
+    """The bisection point of ``[x0, x1]``, or ``None`` if too narrow.
+
+    Integer endpoints bisect to an integer (sweep parameters like network
+    size or λ are integral); a gap of < 2 cannot be bisected. Float
+    endpoints bisect arithmetically. ``min_spacing`` skips intervals at or
+    below that width.
+    """
+    if min_spacing is not None and abs(x1 - x0) <= min_spacing:
+        return None
+    if isinstance(x0, int) and isinstance(x1, int):
+        if abs(x1 - x0) < 2:
+            return None
+        return (x0 + x1) // 2
+    mid = (x0 + x1) / 2.0
+    if mid == x0 or mid == x1:
+        return None
+    return mid
+
+
+def _sorted_by_x(result: "FigureResult") -> "FigureResult":
+    """``result`` with its points reordered by ascending x value."""
+    order = sorted(range(len(result.x_values)), key=lambda i: result.x_values[i])
+    if order == list(range(len(result.x_values))):
+        return result
+
+    def pick(values: tuple) -> tuple:
+        return tuple(values[i] for i in order)
+
+    return replace(
+        result,
+        x_values=pick(result.x_values),
+        series={name: pick(v) for name, v in result.series.items()},
+        errors={name: pick(v) for name, v in result.errors.items()},
+        ci={name: pick(v) for name, v in result.ci.items()},
+        counts=pick(result.counts) if result.counts else (),
+    )
+
+
+def refine_sweep(
+    spec: SweepSpec,
+    result: "FigureResult | None" = None,
+    backend: "ExecutionBackend | None" = None,
+    cache: "ResultCache | None" = None,
+    resume: bool = True,
+    rounds: int = 1,
+    max_new_points: int = 8,
+    min_spacing: "float | None" = None,
+    ci_level: float = 0.95,
+) -> "tuple[SweepSpec, FigureResult]":
+    """Refine a sweep's grid where CIs leave the policy ordering open.
+
+    Paper figures ask *which policy wins where* — crossings and near-ties
+    are exactly where a coarse grid misleads. ``refine_sweep`` finds every
+    adjacent x interval whose endpoint confidence intervals fail to settle
+    some pair of series (overlap, or a sign flip of the difference),
+    bisects those intervals, and re-runs the sweep with the midpoints
+    *appended* to the value grid. Appending keeps every existing point's
+    index — hence its replicate seeds and cache entries — stable, so a
+    refinement pass over a warm ``cache`` simulates **only the new
+    points**; existing ones load from the per-point entries. The process
+    repeats up to ``rounds`` times or until ``max_new_points`` total new
+    points were added or every ordering is settled.
+
+    Args:
+        spec: the sweep to refine; must sweep one scalar parameter over
+            numeric values (coupled and single-point sweeps cannot be
+            bisected).
+        result: a previously computed result of exactly ``spec`` (e.g.
+            from :func:`run_sweep`); computed fresh when ``None``.
+        backend/cache/resume: forwarded to :func:`run_sweep`; pass the
+            cache used for the original sweep to avoid recomputing it.
+        rounds: refinement iterations (each re-examines the refined grid).
+        max_new_points: total budget of inserted points across rounds.
+        min_spacing: skip intervals at or below this width.
+        ci_level: confidence level for halfwidths derived from standard
+            errors when ``result`` carries no CI annotations.
+
+    Returns:
+        ``(refined_spec, refined_result)`` — the spec with the appended
+        grid (its natural cache key for future runs) and its result with
+        points presented in ascending x order. With nothing to refine both
+        are the inputs (result sorted).
+    """
+    paths = spec.parameter_paths
+    if len(paths) != 1 or not isinstance(spec.parameter, str):
+        raise ValueError(
+            "refine_sweep needs a single swept parameter; coupled and "
+            "single-point sweeps have no scalar axis to bisect"
+        )
+    for value in spec.values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"refine_sweep needs a numeric axis, got value {value!r}"
+            )
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if max_new_points < 1:
+        raise ValueError(f"max_new_points must be >= 1, got {max_new_points}")
+
+    if result is None:
+        result = run_sweep(spec, backend=backend, cache=cache, resume=resume)
+    if "partial" in result.notes and len(result.x_values) < len(spec.values):
+        raise ValueError(
+            "refine_sweep needs a complete sweep result; assemble the "
+            "shards first by rerunning without shard"
+        )
+
+    added = 0
+    for _round in range(rounds):
+        if len(result.series_names) < 2:
+            break  # one series has no orderings to separate
+        halfwidths = _series_halfwidths(result, spec, ci_level)
+        existing = set(spec.values)
+        new_values = []
+        for x0, x1 in _ambiguous_intervals(result, halfwidths):
+            if added + len(new_values) >= max_new_points:
+                break
+            mid = _midpoint(x0, x1, min_spacing)
+            if mid is not None and mid not in existing:
+                new_values.append(mid)
+                existing.add(mid)
+        if not new_values:
+            break
+        spec = replace(spec, values=spec.values + tuple(new_values))
+        result = run_sweep(spec, backend=backend, cache=cache, resume=resume)
+        added += len(new_values)
+
+    return spec, _sorted_by_x(result)

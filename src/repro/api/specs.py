@@ -38,11 +38,16 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import math
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
 import numpy as np
 
+# CI_METHODS is the single source of truth for interval estimator names:
+# a ReplicationSpec (and the CLI's --ci-method) accepts exactly what
+# repro.analysis.stats.confidence_interval implements.
+from repro.analysis.stats import CI_METHODS
 from repro.api.registry import (
     resolve_metric,
     resolve_policy,
@@ -59,6 +64,7 @@ __all__ = [
     "PolicySpec",
     "CostSpec",
     "MetricSpec",
+    "ReplicationSpec",
     "DEFAULT_METRICS",
     "ExperimentSpec",
     "SweepSpec",
@@ -379,6 +385,122 @@ class MetricSpec(_ComponentSpec):
 DEFAULT_METRICS = (MetricSpec("total_cost"),)
 
 
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """How many replicates a sweep point gets — fixed or confidence-driven.
+
+    Attached to :attr:`SweepSpec.replication`, this controls replication in
+    two modes:
+
+    * **fixed** (``target_halfwidth=None``): every point runs exactly
+      ``runs`` replicates (``None`` defers to :attr:`SweepSpec.runs`) and,
+      when ``ci_level > 0``, the result is annotated with per-point
+      confidence intervals. The samples — and with ``ci_level=0`` the
+      entire result — are bit-identical to a plain fixed-``runs`` sweep.
+    * **adaptive** (``target_halfwidth`` set): every point starts with
+      ``runs`` replicates and keeps appending batches of ``batch`` more
+      until the ``ci_level`` confidence interval of *every* series at the
+      point has halfwidth ≤ ``target_halfwidth`` (a fraction of ``|mean|``
+      when ``relative``), or the point reaches ``max_runs``. Points stop
+      independently, so cheap/low-variance points spend no extra
+      simulation time.
+
+    Replicate seeds are positional (see
+    :func:`repro.experiments.runner.spawn_point_extension_tasks`): the
+    samples of replicate ``j`` at point ``i`` depend only on the sweep seed
+    and ``(i, j)`` — never on batching, backends, shards, or how many
+    replicates other points needed.
+
+    ``method`` selects the interval estimator: ``"t"`` (Student-t, the
+    default) or ``"bootstrap"`` (BCa).
+    """
+
+    runs: "int | None" = None
+    max_runs: "int | None" = None
+    ci_level: float = 0.95
+    target_halfwidth: "float | None" = None
+    relative: bool = False
+    batch: "int | None" = None
+    method: str = "t"
+
+    def __post_init__(self) -> None:
+        if self.runs is not None:
+            object.__setattr__(self, "runs", int(self.runs))
+            if self.runs < 1:
+                raise ValueError(f"runs must be >= 1, got {self.runs}")
+        if self.batch is not None:
+            object.__setattr__(self, "batch", int(self.batch))
+            if self.batch < 1:
+                raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.max_runs is not None:
+            object.__setattr__(self, "max_runs", int(self.max_runs))
+            if self.max_runs < 1:
+                raise ValueError(f"max_runs must be >= 1, got {self.max_runs}")
+            if self.runs is not None and self.max_runs < self.runs:
+                raise ValueError(
+                    f"max_runs ({self.max_runs}) must be >= runs ({self.runs})"
+                )
+        if not 0.0 <= float(self.ci_level) < 1.0:
+            raise ValueError(
+                f"ci_level must be in [0, 1), got {self.ci_level}"
+            )
+        object.__setattr__(self, "ci_level", float(self.ci_level))
+        if self.method not in CI_METHODS:
+            raise ValueError(
+                f"unknown CI method {self.method!r}; expected one of "
+                f"{CI_METHODS}"
+            )
+        if self.target_halfwidth is not None:
+            object.__setattr__(
+                self, "target_halfwidth", float(self.target_halfwidth)
+            )
+            # `< 0` alone would wave NaN through (all comparisons false)
+            # and silently run every point to max_runs.
+            if not (
+                math.isfinite(self.target_halfwidth)
+                and self.target_halfwidth >= 0
+            ):
+                raise ValueError(
+                    f"target_halfwidth must be finite and >= 0, "
+                    f"got {self.target_halfwidth}"
+                )
+            if self.max_runs is None:
+                raise ValueError(
+                    "adaptive replication needs an explicit max_runs cap: a "
+                    "noisy point would otherwise top up forever"
+                )
+            if self.ci_level == 0.0:
+                raise ValueError(
+                    "target_halfwidth needs ci_level > 0: a level-0 interval "
+                    "is degenerate and every point would stop immediately"
+                )
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether this spec tops points up toward a CI target."""
+        return self.target_halfwidth is not None
+
+    def initial_runs(self, sweep_runs: int) -> int:
+        """The per-point starting replicate count under ``sweep_runs``."""
+        return self.runs if self.runs is not None else int(sweep_runs)
+
+    def batch_size(self, sweep_runs: int) -> int:
+        """How many replicates one adaptive top-up appends."""
+        return self.batch if self.batch is not None else self.initial_runs(sweep_runs)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict form."""
+        return {f.name: _jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ReplicationSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        _check_keys(data, {f.name for f in fields(cls)}, "ReplicationSpec")
+        return cls(**dict(data))
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One complete replicate description: who runs on what, for how long."""
@@ -575,6 +697,11 @@ class SweepSpec:
     coupled sweeps where a secondary parameter derives from the primary one
     (e.g. Figure 5's request volume and day length, both functions of the
     network size). The first path's component is the figure's x value.
+
+    ``replication`` (a :class:`ReplicationSpec`) upgrades the flat ``runs``
+    count to confidence-aware replication: per-point CIs on the result and,
+    with a ``target_halfwidth``, adaptive per-point top-ups. ``None`` keeps
+    the historical fixed-``runs`` behaviour bit for bit.
     """
 
     experiment: ExperimentSpec
@@ -586,8 +713,15 @@ class SweepSpec:
     title: str = ""
     x_label: str = ""
     notes: str = ""
+    replication: "ReplicationSpec | None" = None
 
     def __post_init__(self) -> None:
+        if self.replication is not None and not isinstance(
+            self.replication, ReplicationSpec
+        ):
+            object.__setattr__(
+                self, "replication", ReplicationSpec.from_dict(self.replication)
+            )
         object.__setattr__(self, "values", tuple(_frozen(v) for v in self.values))
         if not self.values:
             raise ValueError("SweepSpec needs at least one value")
@@ -619,6 +753,17 @@ class SweepSpec:
         if self.parameter is not None:
             # Surface bad paths at spec-build time, not mid-sweep.
             self.experiment_at(self.values[0])
+
+    @property
+    def effective_runs(self) -> int:
+        """The per-point *initial* replicate count.
+
+        :attr:`ReplicationSpec.runs`, when set, overrides :attr:`runs`;
+        adaptive replication may append more per point at execution time.
+        """
+        if self.replication is not None:
+            return self.replication.initial_runs(self.runs)
+        return self.runs
 
     @property
     def parameter_paths(self) -> "tuple[str, ...]":
@@ -692,6 +837,11 @@ class SweepSpec:
             "title": self.title,
             "x_label": self.x_label,
             "notes": self.notes,
+            "replication": (
+                self.replication.to_dict()
+                if self.replication is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -700,9 +850,10 @@ class SweepSpec:
         _check_keys(
             data,
             {"experiment", "parameter", "values", "runs", "seed", "figure",
-             "title", "x_label", "notes"},
+             "title", "x_label", "notes", "replication"},
             "SweepSpec",
         )
+        replication = data.get("replication")
         return cls(
             experiment=ExperimentSpec.from_dict(data["experiment"]),
             parameter=data.get("parameter"),
@@ -713,6 +864,11 @@ class SweepSpec:
             title=data.get("title", ""),
             x_label=data.get("x_label", ""),
             notes=data.get("notes", ""),
+            replication=(
+                ReplicationSpec.from_dict(replication)
+                if replication is not None
+                else None
+            ),
         )
 
 

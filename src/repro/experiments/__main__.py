@@ -48,6 +48,15 @@ only every N-th sweep point starting at the I-th (1-based) into the shared
 cache directory — run the N shards as N independent processes or CI jobs,
 then rerun without ``--shard`` to assemble the full figure from the warm
 cache, bit-identical to a serial run.
+
+Confidence-aware replication (both modes): ``--ci LEVEL`` attaches
+per-point confidence intervals to the result (``±`` halfwidth columns in
+tables, shaded bands with ``--plot``); ``--target-halfwidth X`` (absolute)
+or ``X%`` (relative to the mean) additionally makes replication adaptive —
+every sweep point tops up replicates, cache-first, until its CI meets the
+target or hits ``--max-runs`` — and the per-point replicate counts are
+reported on stderr. ``--ci-method bootstrap`` swaps the Student-t interval
+for a BCa bootstrap.
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ import time
 
 import numpy as np
 
+from repro.analysis.stats import CI_METHODS
 from repro.api.cache import ResultCache
 from repro.api.execution import ProcessPoolBackend
 from repro.api.registry import (
@@ -81,6 +91,7 @@ from repro.api.specs import (
     ExperimentSpec,
     MetricSpec,
     PolicySpec,
+    ReplicationSpec,
     ScenarioSpec,
     SweepSpec,
     TopologySpec,
@@ -164,6 +175,174 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_ci_level(text: str) -> float:
+    """argparse type for ``--ci``: a confidence level in (0, 1)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid level: {text!r}")
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"confidence level must be in (0, 1), got {text!r}"
+        )
+    return value
+
+
+def _parse_halfwidth(text: str) -> "tuple[float, bool]":
+    """argparse type for ``--target-halfwidth X[%]``: (value, relative)."""
+    raw = text.strip()
+    relative = raw.endswith("%")
+    if relative:
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number or percentage (e.g. 50 or 5%), got {text!r}"
+        )
+    if relative:
+        value /= 100.0
+    # `not value > 0` (rather than `value <= 0`) also rejects NaN, whose
+    # comparisons are all false.
+    if not value > 0 or value == float("inf"):
+        raise argparse.ArgumentTypeError(
+            f"target halfwidth must be positive and finite, got {text!r}"
+        )
+    return (value, relative)
+
+
+#: --max-runs fallback when adaptive replication is requested without one.
+DEFAULT_MAX_RUNS = 30
+
+
+def _add_confidence_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ci", type=_parse_ci_level, default=None, metavar="LEVEL",
+        help=(
+            "attach per-point confidence intervals at LEVEL (e.g. 0.95) to "
+            "the result: ± columns in tables, shaded bands with --plot"
+        ),
+    )
+    parser.add_argument(
+        "--target-halfwidth", type=_parse_halfwidth, default=None,
+        metavar="X[%]",
+        help=(
+            "adaptive replication: top every sweep point up with extra "
+            "replicates until its CI halfwidth is <= X (absolute) or X%% "
+            "of the mean (with the %% suffix), capped by --max-runs"
+        ),
+    )
+    parser.add_argument(
+        "--max-runs", type=int, default=None, metavar="N",
+        help=(
+            "adaptive replication cap per point "
+            f"(default {DEFAULT_MAX_RUNS} when --target-halfwidth is set)"
+        ),
+    )
+    parser.add_argument(
+        "--ci-method", choices=CI_METHODS, default="t",
+        help="interval estimator: Student-t (default) or BCa bootstrap",
+    )
+
+
+def _replication_for(args) -> "ReplicationSpec | None":
+    """The :class:`ReplicationSpec` requested by the confidence flags."""
+    target = getattr(args, "target_halfwidth", None)
+    level = getattr(args, "ci", None)
+    if target is None and level is None:
+        return None
+    halfwidth, relative = target if target is not None else (None, False)
+    max_runs = getattr(args, "max_runs", None)
+    if halfwidth is not None and max_runs is None:
+        max_runs = DEFAULT_MAX_RUNS
+    return ReplicationSpec(
+        ci_level=level if level is not None else 0.95,
+        target_halfwidth=halfwidth,
+        relative=relative,
+        max_runs=max_runs,
+        method=args.ci_method,
+    )
+
+
+def _validate_confidence_args(args) -> None:
+    """Surface bad confidence-flag combinations before anything simulates.
+
+    Flags that would be silently dead are hard errors: a user passing
+    ``--max-runs`` without ``--target-halfwidth`` (or ``--ci-method``
+    without any confidence flag) believes adaptivity is active when
+    nothing would happen.
+    """
+    target = getattr(args, "target_halfwidth", None)
+    level = getattr(args, "ci", None)
+    runs = getattr(args, "runs", None)
+    max_runs = getattr(args, "max_runs", None)
+    if max_runs is not None and target is None:
+        raise ValueError(
+            "--max-runs only caps adaptive replication; it needs "
+            "--target-halfwidth"
+        )
+    if getattr(args, "ci_method", "t") != "t" and target is None and level is None:
+        raise ValueError(
+            "--ci-method has no effect without --ci or --target-halfwidth"
+        )
+    _replication_for(args)  # ReplicationSpec validation (levels, caps)
+    if (
+        target is not None
+        and runs is not None
+        and max_runs is not None
+        and max_runs < runs
+    ):
+        raise ValueError(
+            f"--max-runs ({max_runs}) must be >= --runs ({runs})"
+        )
+
+
+def _figure_runs(key: str, args) -> "int | None":
+    """The replicate count figure ``key`` will use, if statically known.
+
+    ``--runs`` wins; otherwise the quick-scale override applies (unless
+    ``--paper``), falling back to the figure function's own default.
+    """
+    if args.runs is not None:
+        return args.runs
+    fn, quick = _REGISTRY[key]
+    if not args.paper and "runs" in quick:
+        return quick["runs"]
+    parameter = inspect.signature(fn).parameters.get("runs")
+    if parameter is not None and isinstance(parameter.default, int):
+        return parameter.default
+    return None
+
+
+def _validate_figure_replication(key: str, args) -> None:
+    """Reject --max-runs below figure ``key``'s effective replicate count.
+
+    Without this, the conflict would only surface as a mid-run
+    :class:`ValueError` traceback out of the sweep engine — every other
+    bad flag combination exits cleanly with code 2.
+    """
+    replication = _replication_for(args)
+    if replication is None or not replication.adaptive:
+        return
+    runs = _figure_runs(key, args)
+    if runs is not None and replication.initial_runs(runs) > replication.max_runs:
+        raise ValueError(
+            f"--max-runs ({replication.max_runs}) is below {key}'s replicate "
+            f"count ({runs}); raise --max-runs or lower --runs"
+        )
+
+
+def _replication_stats_line(result) -> str:
+    """The per-point replicate summary printed after a confidence sweep."""
+    counts = [int(n) for n in result.counts]
+    low, high = min(counts), max(counts)
+    spread = str(low) if low == high else f"{low}-{high}"
+    return (
+        f"replicates/point: {spread} "
+        f"(total {sum(counts)} across {len(counts)} points)"
+    )
+
+
 def _point_stats_line(cache: ResultCache) -> str:
     """The per-point hit/miss summary printed to stderr after a sweep.
 
@@ -179,6 +358,11 @@ def _point_stats_line(cache: ResultCache) -> str:
     )
     if pending > 0:
         line += f", {pending} left to other shards"
+    if cache.extension_hits or cache.extension_stores:
+        line += (
+            f"; top-up batches: {cache.extension_hits} cached, "
+            f"{cache.extension_stores} computed"
+        )
     return line
 
 
@@ -227,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list available figure ids"
     )
     _add_cache_flags(parser)
+    _add_confidence_flags(parser)
     return parser
 
 
@@ -305,6 +490,7 @@ def build_run_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true", help="also render an ASCII chart"
     )
     _add_cache_flags(parser)
+    _add_confidence_flags(parser)
     parser.add_argument(
         "--resume", dest="resume", action="store_true", default=True,
         help=(
@@ -336,6 +522,11 @@ def main(argv: "list[str] | None" = None) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        _validate_confidence_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     if args.list or not args.figure:
         for name, (fn, _quick) in sorted(_REGISTRY.items()):
@@ -349,6 +540,11 @@ def main(argv: "list[str] | None" = None) -> int:
         key = _lookup_figure(args.figure)
     except UnknownNameError as error:
         print(f"{error}; use --list", file=sys.stderr)
+        return 2
+    try:
+        _validate_figure_replication(key, args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
 
     _run_one(key, args)
@@ -389,6 +585,7 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
         ("backend", "workers", _backend_for(args.workers)),
         ("cache", "cache-dir", cache),
         ("shard", "shard", getattr(args, "shard", None)),
+        ("replication", "ci/--target-halfwidth", _replication_for(args)),
     ):
         if value is None:
             continue
@@ -403,12 +600,15 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
     elapsed = time.perf_counter() - started
     if cache is not None and (cache.point_hits or cache.point_misses):
         print(_point_stats_line(cache), file=sys.stderr)
+    if getattr(result, "counts", ()):
+        print(_replication_stats_line(result), file=sys.stderr)
     if args.json:
         if args.plot:
             print("note: --plot is ignored with --json", file=sys.stderr)
         payload = result.to_dict()
         payload["params"] = {
-            k: v for k, v in kwargs.items()
+            k: v.to_dict() if isinstance(v, ReplicationSpec) else v
+            for k, v in kwargs.items()
             # execution/orchestration knobs, not figure parameters
             if k not in ("backend", "cache", "shard")
         }
@@ -434,6 +634,12 @@ def _run_all(args) -> int:
     """
     started = time.perf_counter()
     payloads = []
+    for key in sorted(_REGISTRY):
+        try:
+            _validate_figure_replication(key, args)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     for i, key in enumerate(sorted(_REGISTRY)):
         if i and not args.json:
             print()
@@ -512,6 +718,7 @@ def spec_from_args(args) -> SweepSpec:
         runs=args.runs,
         seed=args.seed,
         figure="run",
+        replication=_replication_for(args),
     )
 
 
@@ -533,6 +740,7 @@ def run_command(argv: "list[str]") -> int:
         )
         return 2
     try:
+        _validate_confidence_args(args)
         spec = spec_from_args(args)
         # Build every sweep point's components up front (substrate, scenario,
         # policies, metrics — everything but the simulation) so typos and bad
@@ -577,6 +785,8 @@ def run_command(argv: "list[str]") -> int:
         )
         if cache.point_hits or cache.point_misses:
             print(_point_stats_line(cache), file=sys.stderr)
+    if result.counts:
+        print(_replication_stats_line(result), file=sys.stderr)
 
     if args.json:
         if args.plot:

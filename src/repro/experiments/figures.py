@@ -269,6 +269,7 @@ def figure03(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Algorithm cost vs network size, commuter scenario with dynamic load."""
     return run_sweep(
@@ -279,6 +280,7 @@ def figure03(
         backend=backend,
         cache=cache,
         shard=shard,
+        replication=replication,
     )
 
 
@@ -294,6 +296,7 @@ def figure04(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Like Figure 3, but with static load."""
     return run_sweep(
@@ -304,6 +307,7 @@ def figure04(
         backend=backend,
         cache=cache,
         shard=shard,
+        replication=replication,
     )
 
 
@@ -319,6 +323,7 @@ def figure05(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Like Figure 3, but for the time zone scenario.
 
@@ -351,7 +356,7 @@ def figure05(
         x_label="network size",
         notes="paper: ONTH below both ONBR variants; T grows with n",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 @register_figure(
@@ -366,6 +371,7 @@ def figure06(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """ONBR cost breakdown vs network size in the β=400 > c=40 regime."""
     spec = SweepSpec(
@@ -394,7 +400,7 @@ def figure06(
         x_label="network size",
         notes="paper: access cost dominates and grows with n",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 # ---------------------------------------------------------------------------
@@ -416,6 +422,7 @@ def figure07(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Cost vs T in the commuter scenario with static load."""
     spec = SweepSpec(
@@ -437,7 +444,7 @@ def figure07(
         x_label="T",
         notes="paper: cost rises slightly with T; ONTH best throughout",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 def _lambda_sweep(
@@ -483,6 +490,7 @@ def figure08(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with dynamic load."""
     spec = _lambda_sweep(
@@ -490,7 +498,7 @@ def figure08(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": True}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 @register_figure(
@@ -506,6 +514,7 @@ def figure09(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with static load."""
     spec = _lambda_sweep(
@@ -513,7 +522,7 @@ def figure09(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 @register_figure(
@@ -529,6 +538,7 @@ def figure10(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Cost vs λ, time zone scenario with p = 50%."""
     spec = _lambda_sweep(
@@ -536,7 +546,7 @@ def figure10(
         ScenarioSpec("timezones", {"period": period}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 # ---------------------------------------------------------------------------
@@ -555,6 +565,7 @@ def figure11(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Competitive ratio of ONTH against OPT as a function of λ.
 
@@ -599,7 +610,7 @@ def figure11(
         x_label="λ",
         notes="paper: ratios fairly low; commuter static peaks at intermediate λ",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 # ---------------------------------------------------------------------------
@@ -667,6 +678,7 @@ def _absolute_vs_lambda(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     spec = SweepSpec(
         experiment=ExperimentSpec(
@@ -689,7 +701,7 @@ def _absolute_vs_lambda(
         x_label="λ",
         notes="paper: absolute cost falls as dynamics slow (larger λ)",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 @register_figure("fig13", quick=dict(runs=5))
@@ -703,12 +715,13 @@ def figure13(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Absolute OFFSTAT and OPT costs vs λ, commuter dynamic load, β < c."""
     return _absolute_vs_lambda(
         "fig13", "OFFSTAT vs OPT absolute cost (β=40 < c=400)",
         CostSpec.paper_default(), lambdas, n, period, horizon, runs, seed,
-        backend=backend, cache=cache, shard=shard,
+        backend=backend, cache=cache, shard=shard, replication=replication,
     )
 
 
@@ -723,12 +736,13 @@ def figure14(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Like Figure 13 with β = 400 > c = 40."""
     return _absolute_vs_lambda(
         "fig14", "OFFSTAT vs OPT absolute cost (β=400 > c=40)",
         CostSpec.migration_expensive(), lambdas, n, period, horizon, runs,
-        seed, backend=backend, cache=cache, shard=shard,
+        seed, backend=backend, cache=cache, shard=shard, replication=replication,
     )
 
 
@@ -747,6 +761,7 @@ def _ratio_sweep(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """The OFFSTAT/OPT two-regime ratio figures (15-19) as one spec each."""
     spec = SweepSpec(
@@ -767,7 +782,7 @@ def _ratio_sweep(
         x_label=x_label,
         notes=notes,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
 
 
 @register_figure("fig15", quick=dict(runs=5))
@@ -781,6 +796,7 @@ def figure15(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter dynamic load."""
     return _ratio_sweep(
@@ -789,7 +805,7 @@ def figure15(
         ScenarioSpec("commuter", {"period": period}),
         n, horizon, runs, seed,
         "paper: benefit of flexibility peaks (≈2x) at moderate dynamics",
-        backend=backend, cache=cache, shard=shard,
+        backend=backend, cache=cache, shard=shard, replication=replication,
     )
 
 
@@ -804,6 +820,7 @@ def figure16(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter static load."""
     return _ratio_sweep(
@@ -812,7 +829,7 @@ def figure16(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
         n, horizon, runs, seed,
         "paper: β<c ≈1.2 flat then →1; β>c up to ≈2 at intermediate λ",
-        backend=backend, cache=cache, shard=shard,
+        backend=backend, cache=cache, shard=shard, replication=replication,
     )
 
 
@@ -827,6 +844,7 @@ def figure17(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, time zones with 3 requests/round."""
     return _ratio_sweep(
@@ -836,7 +854,7 @@ def figure17(
         n, horizon, runs, seed,
         "paper: ratio rises quickly for small λ then declines ~linearly; "
         "β<c similar to β>c",
-        backend=backend, cache=cache, shard=shard,
+        backend=backend, cache=cache, shard=shard, replication=replication,
     )
 
 
@@ -851,6 +869,7 @@ def figure18(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter dynamic load."""
     return _ratio_sweep(
@@ -859,7 +878,7 @@ def figure18(
         ScenarioSpec("commuter", {"sojourn": sojourn}),
         n, horizon, runs, seed,
         "paper: ratio grows with T; β>c benefits more from flexibility",
-        backend=backend, cache=cache, shard=shard,
+        backend=backend, cache=cache, shard=shard, replication=replication,
     )
 
 
@@ -874,6 +893,7 @@ def figure19(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter static load."""
     return _ratio_sweep(
@@ -882,7 +902,7 @@ def figure19(
         ScenarioSpec("commuter", {"sojourn": sojourn, "dynamic_load": False}),
         n, horizon, runs, seed,
         "paper: as Figure 18 but static load",
-        backend=backend, cache=cache, shard=shard,
+        backend=backend, cache=cache, shard=shard, replication=replication,
     )
 
 
@@ -907,6 +927,7 @@ def rocketfuel_table(
     backend=None,
     cache=None,
     shard=None,
+    replication=None,
 ) -> FigureResult:
     """Total costs of OFFSTAT, ONTH and ONBR on the AT&T-like topology.
 
@@ -920,6 +941,11 @@ def rocketfuel_table(
     inline sweep; the default AT&T-like run is a pure :class:`SweepSpec`.
     """
     if substrate is not None:
+        if replication is not None:
+            raise ValueError(
+                "replication needs the spec-driven path; a custom substrate "
+                "object cannot be expressed as spec data"
+            )
         costs = CostModel(
             migration=40.0, creation=400.0, run_active=2.5, run_inactive=0.5
         )
@@ -973,4 +999,4 @@ def rocketfuel_table(
         x_label="metric",
         notes=_ROCKETFUEL_NOTES,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)

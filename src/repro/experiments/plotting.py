@@ -3,8 +3,10 @@
 The reproduction runs in terminals and CI logs, so instead of matplotlib
 the reporting stack renders :class:`~repro.experiments.runner.FigureResult`
 series as fixed-width ASCII charts: one marker per series, a labelled y
-axis, and the sweep values along x. Used by the CLI's ``--plot`` flag and
-handy in notebooks-over-ssh; the tabular renderer in
+axis, the sweep values along x, and — when the result carries confidence
+intervals or standard errors — a shaded band (``·``) spanning each series'
+uncertainty around its mean. Used by the CLI's ``--plot`` flag and handy in
+notebooks-over-ssh; the tabular renderer in
 :mod:`repro.experiments.reporting` remains the precise view.
 """
 
@@ -21,24 +23,32 @@ __all__ = ["ascii_chart", "render_figure_chart"]
 #: Series markers, assigned in order.
 _MARKERS = "ox*+#%@&"
 
+#: The shading character of error bands (never overwrites a marker).
+_BAND = "·"
+
 
 def ascii_chart(
     series: "dict[str, list[float]]",
     width: int = 64,
     height: int = 16,
     y_label: str = "",
+    bands: "dict[str, tuple[list[float], list[float]]] | None" = None,
 ) -> str:
     """Render named numeric series as an ASCII chart.
 
     All series share the x axis by index (they must have equal lengths) and
-    the y axis is scaled to the joint min/max. Returns a multi-line string;
-    a legend line maps markers to series names.
+    the y axis is scaled to the joint min/max — including any band bounds,
+    so error bands never clip. Returns a multi-line string; a legend line
+    maps markers to series names.
 
     Args:
         series: mapping name -> values; at least one non-empty series.
         width: plot area width in characters.
         height: plot area height in rows.
         y_label: optional axis annotation shown above the axis.
+        bands: optional per-series ``(lows, highs)`` uncertainty bounds
+            (each aligned with the series values); the vertical span
+            between them is shaded with ``·`` wherever no marker sits.
     """
     if not series:
         raise ValueError("ascii_chart needs at least one series")
@@ -50,38 +60,64 @@ def ascii_chart(
         raise ValueError("series are empty")
     if width < 8 or height < 4:
         raise ValueError("chart needs width >= 8 and height >= 4")
+    bands = bands or {}
+    for name, (lows, highs) in bands.items():
+        if name not in series:
+            raise ValueError(f"band given for unknown series {name!r}")
+        if len(lows) != n_points or len(highs) != n_points:
+            raise ValueError(f"band for {name!r} misaligned with series values")
 
     values = np.asarray([list(v) for v in series.values()], dtype=float)
-    finite = values[np.isfinite(values)]
+    stack = [values]
+    for lows, highs in bands.values():
+        stack.append(np.asarray([list(lows), list(highs)], dtype=float))
+    joint = np.concatenate(stack)
+    finite = joint[np.isfinite(joint)]
     if finite.size == 0:
         raise ValueError("series contain no finite values")
     lo, hi = float(finite.min()), float(finite.max())
     if math.isclose(lo, hi):
         lo, hi = lo - 0.5, hi + 0.5
 
+    def column(i: int) -> int:
+        return round(i * (width - 1) / max(n_points - 1, 1))
+
+    def row(value: float) -> int:
+        y = round((value - lo) / (hi - lo) * (height - 1))
+        return height - 1 - y
+
     grid = [[" "] * width for _ in range(height)]
+    # Bands first, markers after — a marker always wins its cell.
+    for name, (lows, highs) in bands.items():
+        for i in range(n_points):
+            low, high = lows[i], highs[i]
+            if not (math.isfinite(low) and math.isfinite(high)):
+                continue
+            x = column(i)
+            for r in range(row(high), row(low) + 1):
+                if grid[r][x] == " ":
+                    grid[r][x] = _BAND
     for row_series, marker in zip(values, _MARKERS):
         for i, value in enumerate(row_series):
             if not math.isfinite(value):
                 continue
-            x = round(i * (width - 1) / max(n_points - 1, 1))
-            y = round((value - lo) / (hi - lo) * (height - 1))
-            row = height - 1 - y
-            cell = grid[row][x]
-            grid[row][x] = marker if cell in (" ", marker) else "?"
+            x = column(i)
+            r = row(value)
+            cell = grid[r][x]
+            grid[r][x] = marker if cell in (" ", _BAND, marker) else "?"
 
     gutter = max(len(f"{hi:.4g}"), len(f"{lo:.4g}"))
     lines = []
     if y_label:
         lines.append(f"{'':>{gutter}} {y_label}")
-    for row in range(height):
-        if row == 0:
+    for r in range(height):
+        if r == 0:
             label = f"{hi:.4g}"
-        elif row == height - 1:
+        elif r == height - 1:
             label = f"{lo:.4g}"
         else:
             label = ""
-        lines.append(f"{label:>{gutter}} |" + "".join(grid[row]))
+        lines.append(f"{label:>{gutter}} |" + "".join(grid[r]))
     lines.append(f"{'':>{gutter}} +" + "-" * width)
 
     legend = "   ".join(
@@ -91,15 +127,59 @@ def ascii_chart(
     return "\n".join(lines)
 
 
+def _result_bands(
+    result: FigureResult,
+) -> "dict[str, tuple[list[float], list[float]]]":
+    """The uncertainty bands of ``result``: CIs, else mean ± stderr.
+
+    Confidence intervals (when the sweep ran with a
+    :class:`~repro.api.specs.ReplicationSpec`) are preferred; plain
+    multi-run figures fall back to one standard error around the mean.
+    Series with all-zero spread contribute no band.
+    """
+    bands: "dict[str, tuple[list[float], list[float]]]" = {}
+    for name in result.series_names:
+        if result.has_confidence and name in result.ci:
+            lows = [low for low, _high in result.ci[name]]
+            highs = [high for _low, high in result.ci[name]]
+        elif name in result.errors:
+            means = result.series[name]
+            errors = result.errors[name]
+            lows = [m - e for m, e in zip(means, errors)]
+            highs = [m + e for m, e in zip(means, errors)]
+        else:
+            continue
+        if any(h > l for l, h in zip(lows, highs)):
+            bands[name] = (lows, highs)
+    return bands
+
+
 def render_figure_chart(
-    result: FigureResult, width: int = 64, height: int = 16
+    result: FigureResult,
+    width: int = 64,
+    height: int = 16,
+    show_bands: bool = True,
 ) -> str:
-    """Chart a :class:`FigureResult`: title, plot, and the x-value range."""
+    """Chart a :class:`FigureResult`: title, plot, and the x-value range.
+
+    With ``show_bands`` (the default), per-point uncertainty — confidence
+    intervals when attached, otherwise ± one standard error — is shaded
+    around each series; the footer then names what the shading is.
+    """
+    bands = _result_bands(result) if show_bands else {}
     chart = ascii_chart(
         {name: list(result.series[name]) for name in result.series_names},
         width=width,
         height=height,
+        bands=bands,
     )
     xs = result.x_values
     footer = f"{result.x_label}: {xs[0]} .. {xs[-1]} ({len(xs)} points)"
+    if bands:
+        what = (
+            f"{result.ci_level:.0%} CI"
+            if result.has_confidence
+            else "±1 stderr"
+        )
+        footer += f"; {_BAND} = {what}"
     return f"[{result.figure}] {result.title}\n{chart}\n{footer}"

@@ -55,20 +55,41 @@ def _cell(value: object) -> str:
 def format_figure(result: FigureResult, show_errors: bool = True) -> str:
     """Render a :class:`FigureResult` as a titled table.
 
-    One row per sweep point, one column per series; ``±`` columns appear for
-    series with non-zero standard errors when ``show_errors`` is set.
+    One row per sweep point, one column per series; with ``show_errors``
+    set, ``±`` columns appear for series with non-zero standard errors.
+    When the result carries confidence intervals (a sweep run with a
+    :class:`~repro.api.specs.ReplicationSpec`), the ``±`` columns show CI
+    *halfwidths* instead — headed by the level, e.g. ``±95%`` — and a
+    final ``n`` column reports the per-point replicate count, which
+    adaptive replication makes vary across points.
     """
-    headers: list[object] = [result.x_label]
-    use_errors = {
-        name: show_errors
-        and name in result.errors
-        and any(e > 0 for e in result.errors[name])
-        for name in result.series_names
+    confident = result.has_confidence
+    halfwidths = {
+        name: tuple((high - low) / 2.0 for low, high in bounds)
+        for name, bounds in result.ci.items()
     }
+
+    headers: list[object] = [result.x_label]
+    use_errors = {}
+    for name in result.series_names:
+        if confident:
+            use_errors[name] = show_errors and any(
+                h > 0 for h in halfwidths.get(name, ())
+            )
+        else:
+            use_errors[name] = (
+                show_errors
+                and name in result.errors
+                and any(e > 0 for e in result.errors[name])
+            )
+    error_header = f"±{result.ci_level:.0%}" if confident else "±"
     for name in result.series_names:
         headers.append(name)
         if use_errors[name]:
-            headers.append("±")
+            headers.append(error_header)
+    show_counts = confident and bool(result.counts)
+    if show_counts:
+        headers.append("n")
 
     rows = []
     for i, x in enumerate(result.x_values):
@@ -76,7 +97,11 @@ def format_figure(result: FigureResult, show_errors: bool = True) -> str:
         for name in result.series_names:
             row.append(result.series[name][i])
             if use_errors[name]:
-                row.append(result.errors[name][i])
+                row.append(
+                    halfwidths[name][i] if confident else result.errors[name][i]
+                )
+        if show_counts:
+            row.append(int(result.counts[i]))
         rows.append(row)
 
     title = f"[{result.figure}] {result.title}"

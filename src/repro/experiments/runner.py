@@ -22,13 +22,20 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import mean_stderr
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    PointSummary,
+    mean_stderr,
+    point_summary,
+)
 from repro.api.execution import ExecutionBackend, ReplicateTask, SerialBackend
 
 __all__ = [
     "FigureResult",
     "SeriesValidator",
+    "aggregate_point_summaries",
     "aggregate_samples",
+    "spawn_point_extension_tasks",
     "spawn_tasks",
     "sweep_experiment",
 ]
@@ -46,7 +53,19 @@ class FigureResult:
         series: mapping series name → y value per sweep point.
         errors: mapping series name → standard error per sweep point
             (empty for single-run figures).
+        ci: mapping series name → per-point ``(low, high)`` confidence
+            bounds at :attr:`ci_level` (empty unless the sweep ran with a
+            :class:`~repro.api.specs.ReplicationSpec` requesting CIs).
+        counts: per-point replicate counts — non-empty exactly when
+            :attr:`ci` is populated; adaptive replication makes them vary
+            across points.
+        ci_level: nominal coverage of :attr:`ci` (0 when absent).
         notes: free-text observations (paper expectation, caveats).
+
+    The confidence annotations (:attr:`ci`/:attr:`counts`/:attr:`ci_level`)
+    are strictly additive: results without them serialise to exactly the
+    historical dict shape, which is what keeps pre-CI golden data and cache
+    entries bit-comparable.
     """
 
     figure: str
@@ -56,6 +75,9 @@ class FigureResult:
     series: Mapping[str, tuple]
     errors: Mapping[str, tuple] = field(default_factory=dict)
     notes: str = ""
+    ci: Mapping[str, tuple] = field(default_factory=dict)
+    counts: tuple = ()
+    ci_level: float = 0.0
 
     def __post_init__(self) -> None:
         for name, values in self.series.items():
@@ -69,6 +91,27 @@ class FigureResult:
                 raise ValueError(f"errors given for unknown series {name!r}")
             if len(values) != len(self.x_values):
                 raise ValueError(f"errors for {name!r} misaligned with x values")
+        for name, bounds in self.ci.items():
+            if name not in self.series:
+                raise ValueError(f"ci given for unknown series {name!r}")
+            if len(bounds) != len(self.x_values):
+                raise ValueError(f"ci for {name!r} misaligned with x values")
+            for pair in bounds:
+                if len(pair) != 2:
+                    raise ValueError(
+                        f"ci for {name!r} must hold (low, high) pairs, "
+                        f"got {pair!r}"
+                    )
+        if self.counts and len(self.counts) != len(self.x_values):
+            raise ValueError(
+                f"{len(self.counts)} counts for {len(self.x_values)} x points"
+            )
+        if not 0.0 <= self.ci_level < 1.0:
+            raise ValueError(
+                f"ci_level must be in [0, 1), got {self.ci_level}"
+            )
+        if self.ci and not self.counts:
+            raise ValueError("ci requires per-point counts")
 
     def y(self, name: str) -> tuple:
         """The y series called ``name``."""
@@ -79,9 +122,46 @@ class FigureResult:
         """All series names in insertion order."""
         return tuple(self.series.keys())
 
+    @property
+    def has_confidence(self) -> bool:
+        """Whether per-point confidence intervals are attached."""
+        return bool(self.ci)
+
+    def point_summaries(self, name: str) -> "tuple[PointSummary, ...]":
+        """The :class:`PointSummary` per sweep point of series ``name``.
+
+        Requires confidence annotations (``has_confidence``); plain
+        fixed-``runs`` results only carry means and standard errors.
+        """
+        if name not in self.series:
+            raise KeyError(name)
+        if not self.has_confidence or name not in self.ci:
+            raise ValueError(
+                f"series {name!r} carries no confidence intervals; run the "
+                "sweep with SweepSpec(replication=ReplicationSpec(...))"
+            )
+        errors = self.errors.get(name, (0.0,) * len(self.x_values))
+        return tuple(
+            PointSummary(
+                mean=float(self.series[name][i]),
+                stderr=float(errors[i]),
+                n=int(self.counts[i]),
+                ci=ConfidenceInterval(
+                    float(self.ci[name][i][0]),
+                    float(self.ci[name][i][1]),
+                    self.ci_level,
+                ),
+            )
+            for i in range(len(self.x_values))
+        )
+
     def to_dict(self) -> dict:
-        """Plain JSON-safe dict form (``--json`` and caching use this)."""
-        return {
+        """Plain JSON-safe dict form (``--json`` and caching use this).
+
+        Confidence annotations are emitted only when present, so results
+        without them round-trip through exactly the historical dict shape.
+        """
+        data = {
             "figure": self.figure,
             "title": self.title,
             "x_label": self.x_label,
@@ -96,6 +176,14 @@ class FigureResult:
             },
             "notes": self.notes,
         }
+        if self.ci:
+            data["ci"] = {
+                name: [[float(low), float(high)] for low, high in bounds]
+                for name, bounds in self.ci.items()
+            }
+            data["counts"] = [int(n) for n in self.counts]
+            data["ci_level"] = float(self.ci_level)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FigureResult":
@@ -108,6 +196,12 @@ class FigureResult:
             series={k: tuple(v) for k, v in data.get("series", {}).items()},
             errors={k: tuple(v) for k, v in data.get("errors", {}).items()},
             notes=data.get("notes", ""),
+            ci={
+                k: tuple((float(pair[0]), float(pair[1])) for pair in v)
+                for k, v in data.get("ci", {}).items()
+            },
+            counts=tuple(int(n) for n in data.get("counts", ())),
+            ci_level=float(data.get("ci_level", 0.0)),
         )
 
 
@@ -136,6 +230,44 @@ def spawn_tasks(x_values: Sequence, runs: int, seed: int) -> "list[ReplicateTask
     return [
         ReplicateTask(x=x_values[index // runs], seed=children[index])
         for index in range(len(x_values) * runs)
+    ]
+
+
+def spawn_point_extension_tasks(
+    x: object,
+    point_index: int,
+    start: int,
+    count: int,
+    seed: int,
+) -> "list[ReplicateTask]":
+    """Top-up tasks for one sweep point: replicates ``start .. start+count``.
+
+    While the *initial* replicates of a sweep keep the flat layout of
+    :func:`spawn_tasks` (replicate ``j`` of point ``i`` = spawn child
+    ``i * runs + j`` — the PR-3 contract that existing point cache entries
+    encode), adaptive top-ups extend each point's seed sequence in a second
+    spawn dimension: replicate ``j >= runs`` of point ``i`` draws from
+    ``SeedSequence(seed, spawn_key=(i, j))``. NumPy guarantees distinct
+    spawn-key tuples yield independent streams, so top-ups collide neither
+    with any flat child nor with each other, and the seed of a top-up
+    replicate depends only on ``(seed, i, j)`` — never on batch sizes,
+    execution order, shards, or how many replicates *other* points needed.
+    Appending sweep values (grid refinement) leaves every existing point's
+    top-up stream untouched.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if start < 1:
+        raise ValueError(
+            f"extension start must be >= 1 (after the initial replicates), "
+            f"got {start}"
+        )
+    return [
+        ReplicateTask(
+            x=x,
+            seed=np.random.SeedSequence(seed, spawn_key=(int(point_index), j)),
+        )
+        for j in range(start, start + count)
     ]
 
 
@@ -212,6 +344,70 @@ def aggregate_samples(
         x_values=tuple(x_values),
         series=series,
         errors=errors,
+        notes=notes,
+    )
+
+
+def aggregate_point_summaries(
+    figure: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    point_samples: "Sequence[Sequence[Mapping[str, float]]]",
+    ci_level: float,
+    method: str = "t",
+    notes: str = "",
+) -> FigureResult:
+    """Fold *ragged* per-point samples into a CI-annotated :class:`FigureResult`.
+
+    ``point_samples[i]`` holds point ``i``'s replicate sample mappings —
+    lengths may differ across points (adaptive replication). Means and
+    standard errors use the same arithmetic as :func:`aggregate_samples`,
+    so a uniform-count input aggregates to identical series; on top of
+    that every series gets per-point ``(low, high)`` confidence bounds at
+    ``ci_level`` and the result records per-point replicate counts.
+    """
+    x_values = list(x_values)
+    if len(point_samples) != len(x_values):
+        raise ValueError(
+            f"{len(point_samples)} sample groups for {len(x_values)} points"
+        )
+    counts = []
+    collected: "dict[str, list[list[float]]]" = {}
+    for i, group in enumerate(point_samples):
+        group = list(group)
+        if not group:
+            raise ValueError(f"sweep point {x_values[i]!r} has no samples")
+        counts.append(len(group))
+        point_values: dict[str, list[float]] = {}
+        for sample in group:
+            for name, value in sample.items():
+                point_values.setdefault(name, []).append(float(value))
+        for name, values in point_values.items():
+            collected.setdefault(name, []).append(values)
+
+    series = {}
+    errors = {}
+    ci = {}
+    for name, per_point in collected.items():
+        summaries = [
+            point_summary(values, level=ci_level, method=method)
+            for values in per_point
+        ]
+        series[name] = tuple(s.mean for s in summaries)
+        errors[name] = tuple(s.stderr for s in summaries)
+        ci[name] = tuple((s.ci.low, s.ci.high) for s in summaries)
+
+    return FigureResult(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        x_values=tuple(x_values),
+        series=series,
+        errors=errors,
+        ci=ci,
+        counts=tuple(counts),
+        ci_level=float(ci_level),
         notes=notes,
     )
 

@@ -264,3 +264,155 @@ class TestFigurePathFlags:
         payloads = json.loads(captured.out)  # must parse as a single array
         assert [p["figure"] for p in payloads] == ["fig13", "fig14"]
         assert "regenerated 2 experiments" in captured.err
+
+
+class TestConfidenceFlags:
+    BASE = [
+        "run", "--policy", "onth", "--policy", "onbr",
+        "--topology", "erdos_renyi:n=30", "--scenario", "commuter:period=4",
+        "--horizon", "30", "--sweep", "scenario.sojourn=2,5", "--runs", "2",
+    ]
+
+    def test_ci_flag_adds_halfwidth_and_n_columns(self, capsys):
+        rc = main(self.BASE + ["--ci", "0.9"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "±90%" in captured.out
+        assert "replicates/point: 2" in captured.err
+
+    def test_adaptive_flags_vary_per_point_n(self, capsys):
+        rc = main(self.BASE + [
+            "--ci", "0.95", "--target-halfwidth", "1e-9", "--max-runs", "4",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "replicates/point: 4" in captured.err  # capped at --max-runs
+        lines = captured.out.splitlines()
+        assert lines[1].rstrip().endswith("n")
+
+    def test_relative_target_percentage_suffix(self):
+        args = build_run_parser().parse_args(
+            self.BASE[1:] + ["--target-halfwidth", "25%"]
+        )
+        spec = spec_from_args(args)
+        assert spec.replication.relative is True
+        assert spec.replication.target_halfwidth == 0.25
+        from repro.experiments.__main__ import DEFAULT_MAX_RUNS
+
+        assert spec.replication.max_runs == DEFAULT_MAX_RUNS
+
+    def test_cli_default_max_runs_applied(self):
+        from repro.experiments.__main__ import DEFAULT_MAX_RUNS, _replication_for
+
+        args = build_run_parser().parse_args(
+            self.BASE[1:] + ["--target-halfwidth", "10"]
+        )
+        replication = _replication_for(args)
+        assert replication.max_runs == DEFAULT_MAX_RUNS
+        assert replication.relative is False
+
+    def test_json_payload_carries_ci_and_counts(self, capsys):
+        rc = main(self.BASE + [
+            "--ci", "0.95", "--target-halfwidth", "1e-9", "--max-runs", "3",
+            "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ci_level"] == 0.95
+        assert payload["counts"] == [3, 3]
+        assert set(payload["ci"]) == {"ONTH", "ONBR"}
+        assert payload["spec"]["replication"]["target_halfwidth"] == 1e-9
+
+    def test_plot_shades_ci_bands(self, capsys):
+        rc = main(self.BASE + ["--ci", "0.9", "--plot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "·" in out and "90% CI" in out
+
+    def test_bad_combinations_fail_fast(self, capsys):
+        rc = main(self.BASE + [
+            "--target-halfwidth", "10", "--max-runs", "1",
+        ])
+        assert rc == 2
+        assert "--max-runs" in capsys.readouterr().err
+
+    def test_bad_values_rejected_by_argparse(self, capsys):
+        import pytest
+
+        for flags in (["--ci", "1.5"], ["--ci", "x"],
+                      ["--target-halfwidth", "-2"],
+                      ["--target-halfwidth", "abc%"]):
+            with pytest.raises(SystemExit):
+                build_run_parser().parse_args(self.BASE[1:] + flags)
+
+    def test_figure_mode_threads_replication(self, capsys):
+        rc = main([
+            "fig03", "--runs", "2",
+            "--ci", "0.9", "--target-halfwidth", "1e-9", "--max-runs", "3",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "±90%" in captured.out
+        assert "replicates/point: 3" in captured.err
+
+    def test_non_sweep_figures_ignore_the_flags_with_a_note(self, capsys):
+        rc = main(["fig12", "--ci", "0.9"])
+        assert rc == 0
+        assert "does not take --ci" in capsys.readouterr().err
+
+    def test_cached_adaptive_rerun_reports_topup_batches(self, tmp_path, capsys):
+        flags = self.BASE + [
+            "--ci", "0.95", "--target-halfwidth", "1e-9", "--max-runs", "3",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(flags) == 0
+        first = capsys.readouterr().err
+        assert "cache miss" in first and "computed" in first
+        # drop the sweep entry so the rerun replays per-point + top-up entries
+        from repro.api.cache import ResultCache
+        from repro.experiments.__main__ import build_run_parser, spec_from_args
+
+        cache = ResultCache(tmp_path)
+        cache.path_for(spec_from_args(build_run_parser().parse_args(flags[1:]))).unlink()
+        assert main(flags) == 0
+        second = capsys.readouterr().err
+        assert "points: 2/2 cached" in second
+        assert "top-up batches: 2 cached, 0 computed" in second
+
+    def test_figure_mode_max_runs_below_figure_default_fails_fast(self, capsys):
+        # fig03's quick scale defaults to runs=3; --max-runs 2 must exit 2
+        # with a one-line error, not a mid-sweep traceback.
+        rc = main(["fig03", "--target-halfwidth", "5%", "--max-runs", "2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--max-runs" in err and "fig03" in err
+
+    def test_nan_and_inf_targets_rejected(self):
+        import pytest
+        from repro.api.specs import ReplicationSpec
+
+        with pytest.raises(ValueError, match="finite"):
+            ReplicationSpec(target_halfwidth=float("nan"), max_runs=30)
+        with pytest.raises(ValueError, match="finite"):
+            ReplicationSpec(target_halfwidth=float("inf"), max_runs=30)
+        for bad in ("nan", "inf", "nan%"):
+            with pytest.raises(SystemExit):
+                build_run_parser().parse_args(
+                    ["--policy", "onth", "--target-halfwidth", bad]
+                )
+
+    def test_dead_confidence_flags_are_hard_errors(self, capsys):
+        # --max-runs without a target, and --ci-method without any
+        # confidence flag, would otherwise be silently ignored.
+        rc = main(self.BASE + ["--max-runs", "50"])
+        assert rc == 2
+        assert "--target-halfwidth" in capsys.readouterr().err
+        rc = main(self.BASE + ["--ci", "0.9", "--max-runs", "50"])
+        assert rc == 2
+        assert "--target-halfwidth" in capsys.readouterr().err
+        rc = main(self.BASE + ["--ci-method", "bootstrap"])
+        assert rc == 2
+        assert "--ci-method" in capsys.readouterr().err
+        rc = main(["fig03", "--max-runs", "50"])
+        assert rc == 2
+        assert "--target-halfwidth" in capsys.readouterr().err

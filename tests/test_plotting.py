@@ -79,3 +79,62 @@ class TestRenderFigureChart:
     def test_all_series_in_legend(self):
         out = render_figure_chart(self.make())
         assert "ONTH" in out and "ONBR" in out
+
+
+class TestErrorBands:
+    def test_bands_shade_between_bounds(self):
+        out = ascii_chart(
+            {"a": [2.0, 3.0]},
+            width=16, height=8,
+            bands={"a": ([1.0, 2.0], [3.0, 4.0])},
+        )
+        assert "·" in out
+        assert "o" in out  # markers still win their cells
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError, match="unknown series"):
+            ascii_chart({"a": [1.0]}, bands={"b": ([0.0], [2.0])})
+        with pytest.raises(ValueError, match="misaligned"):
+            ascii_chart({"a": [1.0, 2.0]}, bands={"a": ([0.0], [2.0])})
+
+    def test_axis_includes_band_extremes(self):
+        out = ascii_chart(
+            {"a": [5.0, 5.0]}, width=16, height=6,
+            bands={"a": ([0.0, 0.0], [10.0, 10.0])},
+        )
+        assert "10" in out and "0" in out
+
+    def make_confident(self):
+        return FigureResult(
+            "figX", "demo", "λ", (1, 2, 4),
+            {"ONTH": (10.0, 12.0, 9.0)},
+            errors={"ONTH": (1.0, 1.5, 0.8)},
+            ci={"ONTH": ((8.0, 12.0), (9.5, 14.5), (7.7, 10.3))},
+            counts=(3, 7, 3),
+            ci_level=0.9,
+        )
+
+    def test_render_uses_ci_bands_and_names_them(self):
+        out = render_figure_chart(self.make_confident())
+        assert "·" in out
+        assert "90% CI" in out
+
+    def test_render_falls_back_to_stderr_bands(self):
+        result = FigureResult(
+            "figX", "demo", "λ", (1, 2),
+            {"a": (10.0, 12.0)}, errors={"a": (1.0, 1.5)},
+        )
+        out = render_figure_chart(result)
+        assert "·" in out and "±1 stderr" in out
+
+    def test_bands_can_be_disabled(self):
+        out = render_figure_chart(self.make_confident(), show_bands=False)
+        assert "·" not in out and "CI" not in out
+
+    def test_zero_spread_renders_no_band(self):
+        result = FigureResult(
+            "figX", "demo", "λ", (1, 2),
+            {"a": (10.0, 12.0)}, errors={"a": (0.0, 0.0)},
+        )
+        out = render_figure_chart(result)
+        assert "·" not in out

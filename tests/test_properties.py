@@ -24,6 +24,7 @@ from repro.api.specs import (
     ExperimentSpec,
     MetricSpec,
     PolicySpec,
+    ReplicationSpec,
     ScenarioSpec,
     SweepSpec,
     TopologySpec,
@@ -279,6 +280,30 @@ def experiment_specs(draw):
 
 
 @st.composite
+def replication_specs(draw):
+    runs = draw(st.none() | st.integers(1, 10))
+    adaptive = draw(st.booleans())
+    floor = runs if runs is not None else 1
+    if adaptive:
+        max_runs = draw(st.integers(floor, 50))
+        ci_level = draw(st.floats(0.5, 0.999, allow_nan=False))
+        target = draw(st.floats(0.001, 1e3, allow_nan=False))
+    else:
+        max_runs = draw(st.none() | st.integers(floor, 50))
+        ci_level = draw(st.floats(0.0, 0.999, allow_nan=False))
+        target = None
+    return ReplicationSpec(
+        runs=runs,
+        max_runs=max_runs,
+        ci_level=ci_level,
+        target_halfwidth=target,
+        relative=draw(st.booleans()),
+        batch=draw(st.none() | st.integers(1, 10)),
+        method=draw(st.sampled_from(["t", "bootstrap"])),
+    )
+
+
+@st.composite
 def sweep_specs(draw):
     experiment = draw(experiment_specs())
     shape = draw(st.sampled_from(["none", "horizon", "component", "coupled"]))
@@ -311,6 +336,7 @@ def sweep_specs(draw):
         title=draw(st.one_of(st.just(""), _names)),
         x_label=draw(st.one_of(st.just(""), _names)),
         notes=draw(st.one_of(st.just(""), _names)),
+        replication=draw(st.none() | replication_specs()),
     )
 
 

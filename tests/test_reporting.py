@@ -73,3 +73,46 @@ class TestFormatFigure:
         body = out.splitlines()
         assert any(line.strip().startswith("1") for line in body)
         assert any(line.strip().startswith("2") for line in body)
+
+
+class TestFormatFigureWithConfidence:
+    def make(self, counts=(3, 5)):
+        return FigureResult(
+            figure="figC",
+            title="confident figure",
+            x_label="λ",
+            x_values=(1, 2),
+            series={"cost": (10.0, 20.0)},
+            errors={"cost": (0.5, 0.7)},
+            ci={"cost": ((9.0, 11.0), (18.5, 21.5))},
+            counts=counts,
+            ci_level=0.95,
+        )
+
+    def test_ci_halfwidth_column_with_level_header(self):
+        out = format_figure(self.make())
+        assert "±95%" in out
+        # halfwidths, not stderrs: (11-9)/2 = 1, (21.5-18.5)/2 = 1.5
+        assert "1.5" in out
+
+    def test_per_point_n_column(self):
+        out = format_figure(self.make())
+        header = out.splitlines()[1]
+        assert header.rstrip().endswith("n")
+        rows = out.splitlines()[3:5]
+        assert rows[0].rstrip().endswith("3")
+        assert rows[1].rstrip().endswith("5")
+
+    def test_show_errors_false_keeps_counts(self):
+        out = format_figure(self.make(), show_errors=False)
+        assert "±" not in out
+        assert out.splitlines()[1].rstrip().endswith("n")
+
+    def test_degenerate_ci_suppresses_the_column(self):
+        result = FigureResult(
+            "f", "t", "x", (1,), {"a": (1.0,)},
+            errors={"a": (0.3,)},  # nonzero stderr must not resurface
+            ci={"a": ((1.0, 1.0),)}, counts=(4,), ci_level=0.95,
+        )
+        out = format_figure(result)
+        assert "±" not in out and out.splitlines()[1].rstrip().endswith("n")
