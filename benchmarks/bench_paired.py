@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Seed/perf regression harness for paired adaptive replication.
+
+Runs the fig03 smoke scenario twice under the same adaptive replication
+spec — once stopping on the *marginal* per-series CI halfwidths, once on
+the *paired* contrast-vs-ONTH halfwidths (``ComparisonSpec``) — and
+records how many replicates each needed to reach the fixed target. Common
+random numbers make the paired intervals tighten much faster, so paired
+must stop with at most as many total replicates as marginal, with the
+identical per-point policy ordering; the script exits non-zero otherwise,
+making it a CI gate against seed-layout or estimator regressions.
+
+Usage::
+
+    python benchmarks/bench_paired.py [OUTPUT.json]
+
+Writes ``BENCH_paired.json`` (or OUTPUT) with the per-mode replicate
+counts and the measured savings.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.api.specs import ComparisonSpec, ReplicationSpec
+from repro.experiments import figures
+
+#: The fig03 smoke parameterisation (the golden config of the test suite).
+FIG03_SMOKE = dict(sizes=(30, 60), horizon=80, sojourn=5, runs=2, seed=2)
+
+#: An absolute CI halfwidth target between the typical paired and marginal
+#: halfwidths at smoke scale, so the two stopping rules separate.
+REPLICATION = ReplicationSpec(target_halfwidth=150.0, max_runs=12, batch=1)
+
+#: ONTH is the baseline: the paper's claims are all "X vs ONTH"-shaped.
+COMPARISON = ComparisonSpec(baseline="ONTH")
+
+
+def _ordering(result) -> "list[tuple[str, ...]]":
+    """The per-point policy ordering (cheapest first) of a figure result."""
+    return [
+        tuple(sorted(result.series_names,
+                     key=lambda name: result.series[name][i]))
+        for i in range(len(result.x_values))
+    ]
+
+
+def run() -> dict:
+    started = time.perf_counter()
+    marginal = figures.figure03(**FIG03_SMOKE, replication=REPLICATION)
+    marginal_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    paired = figures.figure03(
+        **FIG03_SMOKE, replication=REPLICATION, comparison=COMPARISON
+    )
+    paired_elapsed = time.perf_counter() - started
+
+    marginal_total = sum(marginal.counts)
+    paired_total = sum(paired.counts)
+    return {
+        "scenario": "fig03-smoke",
+        "params": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in FIG03_SMOKE.items()},
+        "replication": REPLICATION.to_dict(),
+        "comparison": COMPARISON.to_dict(),
+        "marginal": {
+            "counts": [int(n) for n in marginal.counts],
+            "total_replicates": marginal_total,
+            "elapsed_seconds": round(marginal_elapsed, 3),
+        },
+        "paired": {
+            "counts": [int(n) for n in paired.counts],
+            "total_replicates": paired_total,
+            "elapsed_seconds": round(paired_elapsed, 3),
+        },
+        "savings": round(1.0 - paired_total / marginal_total, 4),
+        "orderings_identical": _ordering(marginal) == _ordering(paired),
+        "paired_leq_marginal": paired_total <= marginal_total,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    output = argv[0] if argv else "BENCH_paired.json"
+    payload = run()
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"paired {payload['paired']['total_replicates']} vs marginal "
+        f"{payload['marginal']['total_replicates']} replicates "
+        f"({payload['savings']:.0%} saved) -> {output}"
+    )
+    if not payload["paired_leq_marginal"]:
+        print("FAIL: paired adaptive sweep needed MORE replicates than "
+              "marginal", file=sys.stderr)
+        return 1
+    if not payload["orderings_identical"]:
+        print("FAIL: paired and marginal sweeps disagree on the policy "
+              "ordering", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ Quickstart::
 """
 
 from repro.api import (
+    ComparisonSpec,
     CostSpec,
     ExperimentSpec,
     MetricSpec,
@@ -123,6 +124,7 @@ __all__ = [
     "PolicySpec",
     "CostSpec",
     "MetricSpec",
+    "ComparisonSpec",
     "ReplicationSpec",
     "ExperimentSpec",
     "SweepSpec",

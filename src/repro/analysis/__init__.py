@@ -3,6 +3,7 @@
 from repro.analysis.competitive import competitive_ratio_vs_opt, cost_ratio
 from repro.analysis.demand import churn, hotspot_dwell, spatial_spread
 from repro.analysis.stats import (
+    ComparisonSummary,
     ConfidenceInterval,
     MeanStderr,
     PointSummary,
@@ -10,6 +11,9 @@ from repro.analysis.stats import (
     average_total,
     confidence_interval,
     mean_stderr,
+    paired_difference_interval,
+    paired_ratio_interval,
+    paired_summary,
     point_summary,
     t_critical,
 )
@@ -20,6 +24,7 @@ __all__ = [
     "churn",
     "hotspot_dwell",
     "spatial_spread",
+    "ComparisonSummary",
     "ConfidenceInterval",
     "MeanStderr",
     "PointSummary",
@@ -27,6 +32,9 @@ __all__ = [
     "average_total",
     "confidence_interval",
     "mean_stderr",
+    "paired_difference_interval",
+    "paired_ratio_interval",
+    "paired_summary",
     "point_summary",
     "t_critical",
 ]

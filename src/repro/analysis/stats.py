@@ -9,6 +9,13 @@ that aggregation in one place:
 * :func:`point_summary` / :class:`PointSummary` — the full per-sweep-point
   summary (mean, stderr, CI, n) that adaptive replication and the error-bar
   rendering consume,
+* :func:`paired_difference_interval` / :func:`paired_ratio_interval` /
+  :func:`paired_summary` / :class:`ComparisonSummary` — *paired* policy
+  comparison statistics over per-replicate differences or ratios. Because
+  policies sharing a sweep point run on common random numbers (one trace
+  per replicate), the difference cancels the trace-to-trace noise both
+  policies share, and the paired CI is typically far tighter than either
+  marginal one — the classic CRN variance reduction,
 * :func:`average_breakdown` / :func:`average_total` — component-wise
   averaging of cost breakdowns and totals.
 
@@ -31,6 +38,8 @@ from repro.core.results import CostBreakdown, RunResult
 
 __all__ = [
     "CI_METHODS",
+    "COMPARISON_MODES",
+    "ComparisonSummary",
     "ConfidenceInterval",
     "MeanStderr",
     "PointSummary",
@@ -38,12 +47,20 @@ __all__ = [
     "average_total",
     "confidence_interval",
     "mean_stderr",
+    "paired_difference_interval",
+    "paired_ratio_interval",
+    "paired_summary",
     "point_summary",
     "t_critical",
 ]
 
 #: Interval methods accepted by :func:`confidence_interval`.
 CI_METHODS = ("t", "bootstrap")
+
+#: Paired-comparison modes: per-replicate differences or ratios. The single
+#: source of truth for :func:`paired_summary`, the spec layer's
+#: ``ComparisonSpec`` and the CLI's ``--compare-mode``.
+COMPARISON_MODES = ("diff", "ratio")
 
 #: Default resample count of the BCa bootstrap.
 DEFAULT_BOOTSTRAP_SAMPLES = 2000
@@ -138,6 +155,70 @@ class PointSummary:
         return f"{self.mean:.1f} ± {self.halfwidth:.1f} (n={self.n})"
 
 
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """One sweep point's paired comparison of a contrast against a baseline.
+
+    Depending on :attr:`mode` the statistic is the mean per-replicate
+    *difference* ``contrast - baseline`` (null value 0: equal cost) or the
+    mean per-replicate *ratio* ``contrast / baseline`` (null value 1). The
+    interval is computed over the paired per-replicate values, so shared
+    randomness between the two series — policies evaluated on one common
+    trace per replicate — cancels out of the spread.
+    """
+
+    mode: str
+    mean: float
+    stderr: float
+    n: int
+    ci: ConfidenceInterval
+
+    def __post_init__(self) -> None:
+        if self.mode not in COMPARISON_MODES:
+            raise ValueError(
+                f"unknown comparison mode {self.mode!r}; expected one of "
+                f"{COMPARISON_MODES}"
+            )
+
+    @property
+    def null(self) -> float:
+        """The no-difference value: 0 for differences, 1 for ratios."""
+        return 0.0 if self.mode == "diff" else 1.0
+
+    @property
+    def halfwidth(self) -> float:
+        """The CI halfwidth (0 for degenerate intervals)."""
+        return self.ci.halfwidth
+
+    def relative_halfwidth(self) -> float:
+        """Halfwidth as a fraction of ``|mean|`` (``inf`` for a zero mean)."""
+        if self.mean == 0.0:
+            return math.inf if self.halfwidth > 0 else 0.0
+        return self.halfwidth / abs(self.mean)
+
+    def meets(self, target_halfwidth: float, relative: bool = False) -> bool:
+        """Does the paired CI meet an absolute (or relative) halfwidth target?
+
+        Mirrors :meth:`PointSummary.meets`: a single pair never meets a
+        positive target, its zero halfwidth being vacuous.
+        """
+        if target_halfwidth < 0:
+            raise ValueError(f"target halfwidth must be >= 0, got {target_halfwidth}")
+        if self.n < 2 and target_halfwidth > 0:
+            return False
+        width = self.relative_halfwidth() if relative else self.halfwidth
+        return width <= target_halfwidth
+
+    @property
+    def decisive(self) -> bool:
+        """Whether the CI excludes the null — the ordering is settled."""
+        return self.ci.low > self.null or self.ci.high < self.null
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        symbol = "Δ" if self.mode == "diff" else "×"
+        return f"{symbol}{self.mean:.3g} ± {self.halfwidth:.3g} (n={self.n})"
+
+
 def _finite_array(values: Sequence[float], what: str) -> np.ndarray:
     """``values`` as a float array, rejecting NaN/inf with a clear error."""
     arr = np.asarray(list(values), dtype=np.float64)
@@ -210,11 +291,14 @@ def _bootstrap_interval(
     invariance) and is reproducible. Degenerates gracefully: constant
     samples or ``level = 0`` collapse to the point estimate.
     """
-    mean = float(arr.mean())
+    # Mean of the *sorted* samples: np.mean's pairwise summation is order-
+    # sensitive at ULP level, and the bias-correction term compares
+    # bootstrap means against this value — summing in sorted order is what
+    # actually delivers the documented permutation invariance.
+    ordered = np.sort(arr)
+    mean = float(ordered.mean())
     if level == 0.0 or arr.size < 2 or float(arr.std()) == 0.0:
         return ConfidenceInterval(mean, mean, level, "bootstrap")
-
-    ordered = np.sort(arr)
     rng = np.random.default_rng(seed)
     indices = rng.integers(0, ordered.size, size=(n_boot, ordered.size))
     boot_means = ordered[indices].mean(axis=1)
@@ -295,6 +379,116 @@ def point_summary(
         values, level=level, method=method, n_boot=n_boot, seed=seed
     )
     return PointSummary(mean=stat.mean, stderr=stat.stderr, n=stat.n, ci=ci)
+
+
+def _paired_values(
+    contrast: Sequence[float],
+    baseline: Sequence[float],
+    mode: str,
+    what: str,
+) -> np.ndarray:
+    """The per-replicate paired statistic (difference or ratio).
+
+    Pairing is positional: replicate ``i`` of ``contrast`` is compared to
+    replicate ``i`` of ``baseline`` — the two series must come from the
+    same replicates (common random numbers), so misaligned lengths are a
+    caller bug, not something to truncate silently. An empty paired set
+    (n = 0 after alignment) is rejected with a clear error rather than
+    propagating ``nan`` into comparison columns.
+    """
+    if mode not in COMPARISON_MODES:
+        raise ValueError(
+            f"unknown comparison mode {mode!r}; expected one of "
+            f"{COMPARISON_MODES}"
+        )
+    a = _finite_array(contrast, what)
+    b = _finite_array(baseline, what)
+    if a.size != b.size:
+        raise ValueError(
+            f"{what} needs aligned replicates: got {a.size} contrast vs "
+            f"{b.size} baseline samples; paired comparisons require both "
+            "series from the same replicates (common random numbers)"
+        )
+    if a.size == 0:
+        raise ValueError(
+            f"{what} needs at least one aligned pair of samples; an empty "
+            "paired sample set (n=0 after alignment) has no comparison to "
+            "estimate"
+        )
+    if mode == "diff":
+        return a - b
+    if np.any(b == 0.0):
+        raise ValueError(
+            f"{what} cannot form ratios against a zero baseline sample; "
+            "use mode='diff' for baselines that may reach zero"
+        )
+    return a / b
+
+
+def paired_difference_interval(
+    contrast: Sequence[float],
+    baseline: Sequence[float],
+    level: float = 0.95,
+    method: str = "t",
+    n_boot: int = DEFAULT_BOOTSTRAP_SAMPLES,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """A CI for the mean per-replicate difference ``contrast - baseline``.
+
+    The interval is :func:`confidence_interval` over the paired differences,
+    so it inherits its determinism and its invariance under permutations —
+    here permutations of the *pairs* (the pairing itself is sacrosanct:
+    replicate ``i`` pairs with replicate ``i``). An interval excluding zero
+    settles the ordering of the two series at the chosen level.
+    """
+    values = _paired_values(
+        contrast, baseline, "diff", "paired_difference_interval"
+    )
+    return confidence_interval(
+        values, level=level, method=method, n_boot=n_boot, seed=seed
+    )
+
+
+def paired_ratio_interval(
+    contrast: Sequence[float],
+    baseline: Sequence[float],
+    level: float = 0.95,
+    method: str = "t",
+    n_boot: int = DEFAULT_BOOTSTRAP_SAMPLES,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """A CI for the mean per-replicate ratio ``contrast / baseline``.
+
+    Like :func:`paired_difference_interval` but for relative claims ("ONTH
+    costs 1.8x OPT"): the interval excluding one settles which series is
+    cheaper. Baseline samples must be non-zero.
+    """
+    values = _paired_values(
+        contrast, baseline, "ratio", "paired_ratio_interval"
+    )
+    return confidence_interval(
+        values, level=level, method=method, n_boot=n_boot, seed=seed
+    )
+
+
+def paired_summary(
+    contrast: Sequence[float],
+    baseline: Sequence[float],
+    mode: str = "diff",
+    level: float = 0.95,
+    method: str = "t",
+    n_boot: int = DEFAULT_BOOTSTRAP_SAMPLES,
+    seed: int = 0,
+) -> ComparisonSummary:
+    """The full :class:`ComparisonSummary` of one paired comparison."""
+    values = _paired_values(contrast, baseline, mode, "paired_summary")
+    stat = mean_stderr(values)
+    ci = confidence_interval(
+        values, level=level, method=method, n_boot=n_boot, seed=seed
+    )
+    return ComparisonSummary(
+        mode=mode, mean=stat.mean, stderr=stat.stderr, n=stat.n, ci=ci
+    )
 
 
 def average_total(results: Iterable[RunResult]) -> MeanStderr:

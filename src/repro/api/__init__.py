@@ -57,6 +57,7 @@ _EXPORTS = {
     "CostSpec": "repro.api.specs",
     "MetricSpec": "repro.api.specs",
     "ReplicationSpec": "repro.api.specs",
+    "ComparisonSpec": "repro.api.specs",
     "DEFAULT_METRICS": "repro.api.specs",
     "ExperimentSpec": "repro.api.specs",
     "SweepSpec": "repro.api.specs",

@@ -45,6 +45,12 @@ memoize results on disk at two granularities:
   fingerprint, so upgrading the package re-simulates rather than replaying
   results from different code.)
 
+Paired comparisons (:attr:`~repro.api.specs.SweepSpec.comparison`) add no
+entry kind of their own: the payload is pure arithmetic over the very same
+replicate samples, so a comparison-carrying sweep reuses every point and
+point-extension entry of a plain run unchanged (only its *sweep* entry —
+which embeds the comparison in the result — gets a distinct key).
+
 Every key is a SHA-256 over the canonical (sorted-keys) JSON of the payload
 identity plus the package version, a fingerprint of the installed package's
 source files and a cache schema number — so upgrading the code, *editing*

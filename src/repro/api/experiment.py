@@ -33,10 +33,15 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import point_summary, t_critical
+from repro.analysis.stats import paired_summary, point_summary, t_critical
 from repro.api.execution import ExecutionBackend, ReplicateTask, SerialBackend
 from repro.api.metrics import MetricContext, PolicyRun, evaluate_metrics
-from repro.api.specs import ExperimentSpec, ReplicationSpec, SweepSpec
+from repro.api.specs import (
+    ComparisonSpec,
+    ExperimentSpec,
+    ReplicationSpec,
+    SweepSpec,
+)
 from repro.core.results import RunResult
 from repro.core.simulator import simulate
 from repro.workload.base import generate_trace
@@ -259,6 +264,7 @@ def run_sweep(
     shard: "tuple[int, int] | None" = None,
     resume: bool = True,
     replication: "ReplicationSpec | None" = None,
+    comparison: "ComparisonSpec | None" = None,
 ) -> "FigureResult":
     """Run the sweep described by ``spec`` and aggregate a figure result.
 
@@ -288,6 +294,10 @@ def run_sweep(
             replaced with this :class:`ReplicationSpec` (or spec dict)
             before anything runs, so figure functions can thread a CLI
             replication request through without rebuilding their specs.
+        comparison: the same convenience override for
+            :attr:`~repro.api.specs.SweepSpec.comparison` — attach paired
+            contrast-vs-baseline payloads (a :class:`ComparisonSpec` or
+            spec dict) without rebuilding the spec.
 
     With a replication spec requesting confidence intervals
     (``ci_level > 0``), the result carries per-point CI bounds and
@@ -296,6 +306,17 @@ def run_sweep(
     backend/shard machinery) until their CIs meet the target or hit
     ``max_runs``. Without a replication spec the behaviour — and the
     result, bit for bit — is the historical fixed-``runs`` sweep.
+
+    With a comparison spec the result additionally carries paired
+    contrast-vs-baseline payloads computed from the very same replicate
+    samples — marginal series, seeds and point cache entries are untouched
+    — and an *adaptive* sweep stops topping a point up once every paired
+    interval at the point meets the target (the comparison's own
+    ``target_halfwidth`` when set, else the replication one), instead of
+    every marginal interval. Policies sharing each replicate's trace make
+    the paired intervals tighten much faster than the marginal ones, so
+    paired adaptive sweeps settle the same orderings with fewer simulated
+    replicates.
 
     Serial, process-pool and sharded execution are bit-identical: every
     task's child seed depends only on its position (see
@@ -315,6 +336,10 @@ def run_sweep(
         if not isinstance(replication, ReplicationSpec):
             replication = ReplicationSpec.from_dict(replication)
         spec = replace(spec, replication=replication)
+    if comparison is not None:
+        if not isinstance(comparison, ComparisonSpec):
+            comparison = ComparisonSpec.from_dict(comparison)
+        spec = replace(spec, comparison=comparison)
 
     shard = _normalize_shard(shard)
     if shard is not None and cache is None:
@@ -355,6 +380,7 @@ def run_sweep(
                 seed=spec.seed,
                 notes=spec.notes,
                 backend=backend,
+                comparison=spec.comparison,
             ),
         )
         if cache is not None:
@@ -446,6 +472,7 @@ def run_sweep(
                 f"(shard {shard[0] + 1}/{shard[1]}); rerun unsharded to "
                 "assemble"
             ),
+            comparison=spec.comparison,
         )
         return _display_x(spec, partial)
 
@@ -459,6 +486,7 @@ def run_sweep(
             samples=samples,
             runs=runs,
             notes=spec.notes,
+            comparison=spec.comparison,
         ),
     )
     cache.store(spec, result)
@@ -466,15 +494,46 @@ def run_sweep(
 
 
 def _point_met(
-    samples: "Sequence[Mapping[str, float]]", rep: ReplicationSpec
+    samples: "Sequence[Mapping[str, float]]",
+    rep: ReplicationSpec,
+    comparison: "ComparisonSpec | None" = None,
 ) -> bool:
-    """Does every series at this point meet the CI halfwidth target?
+    """Does this point meet its CI halfwidth target?
+
+    Without a comparison every *marginal* series interval must meet the
+    replication target. With one, the criterion is the *paired* halfwidth
+    of every contrast-vs-baseline interval instead: the paired spread is
+    what the relative claims rest on, and — replicates sharing one trace —
+    it is typically far tighter, so paired sweeps stop with fewer
+    replicates while settling the same orderings. The paired target is the
+    comparison's own ``target_halfwidth`` when set, else the replication
+    one.
 
     A point with fewer than two replicates never qualifies — its stderr is
     identically zero, which proves nothing about precision.
     """
     if len(samples) < 2:
         return False
+    if comparison is not None:
+        # resolve first: it validates the baseline, so a typo'd name raises
+        # ComparisonSeriesError here instead of a raw KeyError below
+        contrasts = comparison.resolve_contrasts(tuple(samples[0]))
+        baseline = [sample[comparison.baseline] for sample in samples]
+        if comparison.target_halfwidth is not None:
+            target, relative = comparison.target_halfwidth, comparison.relative
+        else:
+            target, relative = rep.target_halfwidth, rep.relative
+        for name in contrasts:
+            summary = paired_summary(
+                [sample[name] for sample in samples],
+                baseline,
+                mode=comparison.mode,
+                level=comparison.ci_level,
+                method=comparison.method,
+            )
+            if not summary.meets(target, relative):
+                return False
+        return True
     for name in samples[0]:
         summary = point_summary(
             [sample[name] for sample in samples],
@@ -616,7 +675,9 @@ def _run_confidence_sweep(
             still_open = []
             for i in open_points:
                 have = len(samples[i])
-                if have >= rep.max_runs or _point_met(samples[i], rep):
+                if have >= rep.max_runs or _point_met(
+                    samples[i], rep, spec.comparison
+                ):
                     continue
                 size = min(batch, rep.max_runs - have)
                 block = (
@@ -691,6 +752,7 @@ def _run_confidence_sweep(
                 f"(shard {shard[0] + 1}/{shard[1]}); rerun unsharded to "
                 "assemble"
             ),
+            comparison=spec.comparison,
         )
         return _display_x(spec, partial)
 
@@ -705,6 +767,7 @@ def _run_confidence_sweep(
             ci_level=rep.ci_level,
             method=rep.method,
             notes=spec.notes,
+            comparison=spec.comparison,
         ),
     )
     if cache is not None:
@@ -820,6 +883,16 @@ def _sorted_by_x(result: "FigureResult") -> "FigureResult":
         errors={name: pick(v) for name, v in result.errors.items()},
         ci={name: pick(v) for name, v in result.ci.items()},
         counts=pick(result.counts) if result.counts else (),
+        comparisons=tuple(
+            replace(
+                c,
+                values=pick(c.values),
+                stderr=pick(c.stderr),
+                ci=pick(c.ci),
+                counts=pick(c.counts),
+            )
+            for c in result.comparisons
+        ),
     )
 
 

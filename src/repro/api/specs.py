@@ -40,14 +40,15 @@ import inspect
 import json
 import math
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-# CI_METHODS is the single source of truth for interval estimator names:
-# a ReplicationSpec (and the CLI's --ci-method) accepts exactly what
-# repro.analysis.stats.confidence_interval implements.
-from repro.analysis.stats import CI_METHODS
+# CI_METHODS / COMPARISON_MODES are the single source of truth for interval
+# estimator and paired-comparison mode names: a ReplicationSpec or
+# ComparisonSpec (and the CLI's --ci-method / --compare-mode) accepts exactly
+# what repro.analysis.stats implements.
+from repro.analysis.stats import CI_METHODS, COMPARISON_MODES
 from repro.api.registry import (
     resolve_metric,
     resolve_policy,
@@ -65,6 +66,8 @@ __all__ = [
     "CostSpec",
     "MetricSpec",
     "ReplicationSpec",
+    "ComparisonSpec",
+    "ComparisonSeriesError",
     "DEFAULT_METRICS",
     "ExperimentSpec",
     "SweepSpec",
@@ -501,6 +504,145 @@ class ReplicationSpec:
         return cls(**dict(data))
 
 
+class ComparisonSeriesError(ValueError):
+    """A comparison's baseline/contrast names did not resolve to result series.
+
+    Raised by :meth:`ComparisonSpec.resolve_contrasts`. A distinct subclass
+    so the CLI can turn exactly this user error (a typo'd ``--compare``)
+    into a clean exit without masking library bugs behind a broad
+    ``except ValueError``.
+    """
+
+
+@dataclass(frozen=True)
+class ComparisonSpec:
+    """A paired policy-vs-policy comparison riding on a sweep.
+
+    Attached to :attr:`SweepSpec.comparison`, this asks the sweep engine to
+    report — next to the marginal series — *paired* statistics of every
+    contrast series against one ``baseline`` series, per sweep point:
+    the mean per-replicate difference (``mode="diff"``) or ratio
+    (``mode="ratio"``) with a confidence interval over the paired values.
+    Policies at one sweep point share the replicate's trace (common random
+    numbers), so the shared noise cancels and the paired interval is
+    typically far tighter than the marginal ones.
+
+    * ``baseline`` names the reference series (a policy label or any other
+      result series name); ``contrasts`` names the series compared against
+      it — empty means *every* other series.
+    * ``ci_level`` / ``method`` control the paired interval (independent of
+      any :class:`ReplicationSpec` marginal settings).
+    * ``target_halfwidth`` (absolute, or a fraction of the paired mean with
+      ``relative``) retargets **adaptive replication** at the paired
+      halfwidth: the sweep keeps topping a point up until every paired CI
+      at the point meets this target (instead of every marginal CI). It
+      requires an adaptive :class:`ReplicationSpec` (which contributes
+      ``max_runs``, batching and seeding); when ``None``, an adaptive sweep
+      with a comparison drives off the replication spec's own target,
+      applied to the paired halfwidths.
+
+    Comparisons change nothing about which replicates are simulated or how
+    they are seeded — a sweep re-run with a comparison reuses every cached
+    point entry and reproduces the marginal series bit for bit.
+    """
+
+    baseline: str
+    contrasts: "tuple[str, ...]" = ()
+    mode: str = "diff"
+    ci_level: float = 0.95
+    target_halfwidth: "float | None" = None
+    relative: bool = False
+    method: str = "t"
+
+    def __post_init__(self) -> None:
+        baseline = str(self.baseline).strip()
+        if not baseline:
+            raise ValueError("ComparisonSpec.baseline must be non-empty")
+        object.__setattr__(self, "baseline", baseline)
+        contrasts = tuple(str(c).strip() for c in self.contrasts)
+        if any(not c for c in contrasts):
+            raise ValueError("ComparisonSpec.contrasts must be non-empty names")
+        duplicates = {c for c in contrasts if contrasts.count(c) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate comparison contrasts: {sorted(duplicates)}"
+            )
+        if baseline in contrasts:
+            raise ValueError(
+                f"baseline {baseline!r} cannot also be a contrast"
+            )
+        object.__setattr__(self, "contrasts", contrasts)
+        if self.mode not in COMPARISON_MODES:
+            raise ValueError(
+                f"unknown comparison mode {self.mode!r}; expected one of "
+                f"{COMPARISON_MODES}"
+            )
+        object.__setattr__(self, "ci_level", float(self.ci_level))
+        if not 0.0 < self.ci_level < 1.0:
+            raise ValueError(
+                f"comparison ci_level must be in (0, 1), got {self.ci_level}"
+            )
+        if self.method not in CI_METHODS:
+            raise ValueError(
+                f"unknown CI method {self.method!r}; expected one of "
+                f"{CI_METHODS}"
+            )
+        if self.target_halfwidth is not None:
+            object.__setattr__(
+                self, "target_halfwidth", float(self.target_halfwidth)
+            )
+            # `< 0` alone would wave NaN through (all comparisons false).
+            if not (
+                math.isfinite(self.target_halfwidth)
+                and self.target_halfwidth >= 0
+            ):
+                raise ValueError(
+                    f"comparison target_halfwidth must be finite and >= 0, "
+                    f"got {self.target_halfwidth}"
+                )
+
+    def resolve_contrasts(self, names: "Sequence[str]") -> "tuple[str, ...]":
+        """The concrete contrast series among result series ``names``.
+
+        Raises a clear :class:`ComparisonSeriesError` when the baseline or
+        an explicit contrast does not exist, or when nothing is left to
+        compare.
+        """
+        names = list(names)
+        if self.baseline not in names:
+            raise ComparisonSeriesError(
+                f"comparison baseline {self.baseline!r} is not a result "
+                f"series; available: {sorted(names)}"
+            )
+        if self.contrasts:
+            missing = [c for c in self.contrasts if c not in names]
+            if missing:
+                raise ComparisonSeriesError(
+                    f"comparison contrasts {missing} are not result series; "
+                    f"available: {sorted(names)}"
+                )
+            return self.contrasts
+        others = tuple(n for n in names if n != self.baseline)
+        if not others:
+            raise ComparisonSeriesError(
+                f"comparison against {self.baseline!r} has no contrast "
+                "series: the result carries no other series"
+            )
+        return others
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict form."""
+        return {f.name: _jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ComparisonSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        _check_keys(data, {f.name for f in fields(cls)}, "ComparisonSpec")
+        data = dict(data)
+        data["contrasts"] = tuple(data.get("contrasts") or ())
+        return cls(**data)
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One complete replicate description: who runs on what, for how long."""
@@ -702,6 +844,12 @@ class SweepSpec:
     count to confidence-aware replication: per-point CIs on the result and,
     with a ``target_halfwidth``, adaptive per-point top-ups. ``None`` keeps
     the historical fixed-``runs`` behaviour bit for bit.
+
+    ``comparison`` (a :class:`ComparisonSpec`) additionally reports paired
+    contrast-vs-baseline statistics per sweep point — and, combined with an
+    adaptive ``replication``, stops topping points up once the *paired*
+    intervals (not the marginal ones) meet the target. Comparisons never
+    change which replicates run or how they are seeded.
     """
 
     experiment: ExperimentSpec
@@ -714,6 +862,7 @@ class SweepSpec:
     x_label: str = ""
     notes: str = ""
     replication: "ReplicationSpec | None" = None
+    comparison: "ComparisonSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.replication is not None and not isinstance(
@@ -721,6 +870,22 @@ class SweepSpec:
         ):
             object.__setattr__(
                 self, "replication", ReplicationSpec.from_dict(self.replication)
+            )
+        if self.comparison is not None and not isinstance(
+            self.comparison, ComparisonSpec
+        ):
+            object.__setattr__(
+                self, "comparison", ComparisonSpec.from_dict(self.comparison)
+            )
+        if (
+            self.comparison is not None
+            and self.comparison.target_halfwidth is not None
+            and (self.replication is None or not self.replication.adaptive)
+        ):
+            raise ValueError(
+                "a comparison target_halfwidth retargets adaptive "
+                "replication and needs an adaptive ReplicationSpec "
+                "(target_halfwidth + max_runs) to drive the top-ups"
             )
         object.__setattr__(self, "values", tuple(_frozen(v) for v in self.values))
         if not self.values:
@@ -842,6 +1007,11 @@ class SweepSpec:
                 if self.replication is not None
                 else None
             ),
+            "comparison": (
+                self.comparison.to_dict()
+                if self.comparison is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -850,10 +1020,11 @@ class SweepSpec:
         _check_keys(
             data,
             {"experiment", "parameter", "values", "runs", "seed", "figure",
-             "title", "x_label", "notes", "replication"},
+             "title", "x_label", "notes", "replication", "comparison"},
             "SweepSpec",
         )
         replication = data.get("replication")
+        comparison = data.get("comparison")
         return cls(
             experiment=ExperimentSpec.from_dict(data["experiment"]),
             parameter=data.get("parameter"),
@@ -867,6 +1038,11 @@ class SweepSpec:
             replication=(
                 ReplicationSpec.from_dict(replication)
                 if replication is not None
+                else None
+            ),
+            comparison=(
+                ComparisonSpec.from_dict(comparison)
+                if comparison is not None
                 else None
             ),
         )

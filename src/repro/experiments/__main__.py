@@ -57,6 +57,16 @@ every sweep point tops up replicates, cache-first, until its CI meets the
 target or hits ``--max-runs`` — and the per-point replicate counts are
 reported on stderr. ``--ci-method bootstrap`` swaps the Student-t interval
 for a BCa bootstrap.
+
+Paired comparisons (both modes): ``--compare BASELINE`` reports, next to
+the marginal series, the *paired* per-replicate difference of every other
+series against the ``BASELINE`` series (``--compare-mode ratio`` for
+ratios) with a paired confidence interval — policies share each
+replicate's trace, so these intervals are far tighter than the marginal
+ones. Combined with ``--target-halfwidth``, adaptive replication stops as
+soon as the paired intervals (not the marginal ones) meet the target —
+same conclusions, fewer simulated replicates. Comparisons reuse the exact
+replicate samples (and cache entries) of a plain run.
 """
 
 from __future__ import annotations
@@ -69,7 +79,7 @@ import time
 
 import numpy as np
 
-from repro.analysis.stats import CI_METHODS
+from repro.analysis.stats import CI_METHODS, COMPARISON_MODES
 from repro.api.cache import ResultCache
 from repro.api.execution import ProcessPoolBackend
 from repro.api.registry import (
@@ -87,6 +97,8 @@ from repro.api.registry import (
     normalize_name,
 )
 from repro.api.specs import (
+    ComparisonSeriesError,
+    ComparisonSpec,
     CostSpec,
     ExperimentSpec,
     MetricSpec,
@@ -243,6 +255,37 @@ def _add_confidence_flags(parser: argparse.ArgumentParser) -> None:
         "--ci-method", choices=CI_METHODS, default="t",
         help="interval estimator: Student-t (default) or BCa bootstrap",
     )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help=(
+            "report paired comparisons of every other series against the "
+            "BASELINE series (policies share each replicate's trace, so "
+            "paired intervals are much tighter than marginal ones); with "
+            "--target-halfwidth, adaptive replication stops on the paired "
+            "halfwidths instead of the marginal ones"
+        ),
+    )
+    parser.add_argument(
+        "--compare-mode", choices=COMPARISON_MODES, default="diff",
+        help=(
+            "paired statistic: per-replicate difference contrast-baseline "
+            "(default) or ratio contrast/baseline"
+        ),
+    )
+
+
+def _comparison_for(args) -> "ComparisonSpec | None":
+    """The :class:`ComparisonSpec` requested by ``--compare``."""
+    baseline = getattr(args, "compare", None)
+    if baseline is None:
+        return None
+    level = getattr(args, "ci", None)
+    return ComparisonSpec(
+        baseline=baseline,
+        mode=args.compare_mode,
+        ci_level=level if level is not None else 0.95,
+        method=args.ci_method,
+    )
 
 
 def _replication_for(args) -> "ReplicationSpec | None":
@@ -281,11 +324,21 @@ def _validate_confidence_args(args) -> None:
             "--max-runs only caps adaptive replication; it needs "
             "--target-halfwidth"
         )
-    if getattr(args, "ci_method", "t") != "t" and target is None and level is None:
+    compare = getattr(args, "compare", None)
+    if (
+        getattr(args, "ci_method", "t") != "t"
+        and target is None
+        and level is None
+        and compare is None
+    ):
         raise ValueError(
-            "--ci-method has no effect without --ci or --target-halfwidth"
+            "--ci-method has no effect without --ci, --target-halfwidth or "
+            "--compare"
         )
+    if getattr(args, "compare_mode", "diff") != "diff" and compare is None:
+        raise ValueError("--compare-mode has no effect without --compare")
     _replication_for(args)  # ReplicationSpec validation (levels, caps)
+    _comparison_for(args)   # ComparisonSpec validation (baseline, mode)
     if (
         target is not None
         and runs is not None
@@ -547,7 +600,13 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    _run_one(key, args)
+    try:
+        _run_one(key, args)
+    except ComparisonSeriesError as error:
+        # a typo'd --compare baseline only surfaces once the figure's
+        # series exist; still a user error, not a traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -586,6 +645,7 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
         ("cache", "cache-dir", cache),
         ("shard", "shard", getattr(args, "shard", None)),
         ("replication", "ci/--target-halfwidth", _replication_for(args)),
+        ("comparison", "compare", _comparison_for(args)),
     ):
         if value is None:
             continue
@@ -607,7 +667,11 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
             print("note: --plot is ignored with --json", file=sys.stderr)
         payload = result.to_dict()
         payload["params"] = {
-            k: v.to_dict() if isinstance(v, ReplicationSpec) else v
+            k: (
+                v.to_dict()
+                if isinstance(v, (ReplicationSpec, ComparisonSpec))
+                else v
+            )
             for k, v in kwargs.items()
             # execution/orchestration knobs, not figure parameters
             if k not in ("backend", "cache", "shard")
@@ -618,10 +682,16 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
         return payload
     print(format_figure(result))
     if args.plot:
-        from repro.experiments.plotting import render_figure_chart
+        from repro.experiments.plotting import (
+            render_comparison_chart,
+            render_figure_chart,
+        )
 
         print()
         print(render_figure_chart(result))
+        if result.has_comparisons:
+            print()
+            print(render_comparison_chart(result))
     print(f"  ({elapsed:.1f}s, {'paper' if args.paper else 'quick'} scale)")
     return None
 
@@ -643,7 +713,11 @@ def _run_all(args) -> int:
     for i, key in enumerate(sorted(_REGISTRY)):
         if i and not args.json:
             print()
-        payloads.append(_run_one(key, args, emit_json=False))
+        try:
+            payloads.append(_run_one(key, args, emit_json=False))
+        except ComparisonSeriesError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     total = time.perf_counter() - started
     if args.json:
         print(json.dumps(payloads, indent=2))
@@ -719,6 +793,7 @@ def spec_from_args(args) -> SweepSpec:
         seed=args.seed,
         figure="run",
         replication=_replication_for(args),
+        comparison=_comparison_for(args),
     )
 
 
@@ -763,19 +838,35 @@ def run_command(argv: "list[str]") -> int:
             # metric's signature (the leading placeholder stands in for the
             # evaluation context).
             inspect.signature(metric.resolve()).bind(None, **metric.params)
+        if spec.comparison is not None and all(
+            m.kind == "total_cost" and m.label is None
+            for m in spec.experiment.metrics
+        ):
+            # With the default metric the result series are exactly the
+            # policy labels, so a typo'd --compare baseline can fail fast
+            # here; metric-derived series names only exist after simulating.
+            spec.comparison.resolve_contrasts(
+                resolve_series_labels(spec.experiment)
+            )
     except (UnknownNameError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     cache = _cache_for(args)
     started = time.perf_counter()
-    result = run_sweep(
-        spec,
-        backend=_backend_for(args.workers),
-        cache=cache,
-        shard=args.shard,
-        resume=args.resume,
-    )
+    try:
+        result = run_sweep(
+            spec,
+            backend=_backend_for(args.workers),
+            cache=cache,
+            shard=args.shard,
+            resume=args.resume,
+        )
+    except ComparisonSeriesError as error:
+        # --compare against a metric-derived series name the pre-flight
+        # could not know; clean exit like every other bad flag
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - started
     if cache is not None:
         status = "hit" if cache.hits else "miss"
@@ -798,10 +889,16 @@ def run_command(argv: "list[str]") -> int:
         return 0
     print(format_figure(result))
     if args.plot:
-        from repro.experiments.plotting import render_figure_chart
+        from repro.experiments.plotting import (
+            render_comparison_chart,
+            render_figure_chart,
+        )
 
         print()
         print(render_figure_chart(result))
+        if result.has_comparisons:
+            print()
+            print(render_comparison_chart(result))
     print(f"  ({elapsed:.1f}s, backend={'serial' if not args.workers or args.workers <= 1 else f'{args.workers} workers'})")
     return 0
 

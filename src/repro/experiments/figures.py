@@ -270,6 +270,7 @@ def figure03(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Algorithm cost vs network size, commuter scenario with dynamic load."""
     return run_sweep(
@@ -281,6 +282,7 @@ def figure03(
         cache=cache,
         shard=shard,
         replication=replication,
+        comparison=comparison,
     )
 
 
@@ -297,6 +299,7 @@ def figure04(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Like Figure 3, but with static load."""
     return run_sweep(
@@ -308,6 +311,7 @@ def figure04(
         cache=cache,
         shard=shard,
         replication=replication,
+        comparison=comparison,
     )
 
 
@@ -324,6 +328,7 @@ def figure05(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Like Figure 3, but for the time zone scenario.
 
@@ -356,7 +361,7 @@ def figure05(
         x_label="network size",
         notes="paper: ONTH below both ONBR variants; T grows with n",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 @register_figure(
@@ -372,6 +377,7 @@ def figure06(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """ONBR cost breakdown vs network size in the β=400 > c=40 regime."""
     spec = SweepSpec(
@@ -400,7 +406,7 @@ def figure06(
         x_label="network size",
         notes="paper: access cost dominates and grows with n",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 # ---------------------------------------------------------------------------
@@ -423,6 +429,7 @@ def figure07(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Cost vs T in the commuter scenario with static load."""
     spec = SweepSpec(
@@ -444,7 +451,7 @@ def figure07(
         x_label="T",
         notes="paper: cost rises slightly with T; ONTH best throughout",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 def _lambda_sweep(
@@ -491,6 +498,7 @@ def figure08(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with dynamic load."""
     spec = _lambda_sweep(
@@ -498,7 +506,7 @@ def figure08(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": True}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 @register_figure(
@@ -515,6 +523,7 @@ def figure09(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Cost vs λ, commuter scenario with static load."""
     spec = _lambda_sweep(
@@ -522,7 +531,7 @@ def figure09(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 @register_figure(
@@ -539,6 +548,7 @@ def figure10(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Cost vs λ, time zone scenario with p = 50%."""
     spec = _lambda_sweep(
@@ -546,7 +556,7 @@ def figure10(
         ScenarioSpec("timezones", {"period": period}),
         lambdas, n, horizon, runs, seed,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 # ---------------------------------------------------------------------------
@@ -566,6 +576,7 @@ def figure11(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Competitive ratio of ONTH against OPT as a function of λ.
 
@@ -610,7 +621,7 @@ def figure11(
         x_label="λ",
         notes="paper: ratios fairly low; commuter static peaks at intermediate λ",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 # ---------------------------------------------------------------------------
@@ -679,6 +690,7 @@ def _absolute_vs_lambda(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     spec = SweepSpec(
         experiment=ExperimentSpec(
@@ -701,7 +713,7 @@ def _absolute_vs_lambda(
         x_label="λ",
         notes="paper: absolute cost falls as dynamics slow (larger λ)",
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 @register_figure("fig13", quick=dict(runs=5))
@@ -716,12 +728,13 @@ def figure13(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Absolute OFFSTAT and OPT costs vs λ, commuter dynamic load, β < c."""
     return _absolute_vs_lambda(
         "fig13", "OFFSTAT vs OPT absolute cost (β=40 < c=400)",
         CostSpec.paper_default(), lambdas, n, period, horizon, runs, seed,
-        backend=backend, cache=cache, shard=shard, replication=replication,
+        backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison,
     )
 
 
@@ -737,12 +750,13 @@ def figure14(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Like Figure 13 with β = 400 > c = 40."""
     return _absolute_vs_lambda(
         "fig14", "OFFSTAT vs OPT absolute cost (β=400 > c=40)",
         CostSpec.migration_expensive(), lambdas, n, period, horizon, runs,
-        seed, backend=backend, cache=cache, shard=shard, replication=replication,
+        seed, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison,
     )
 
 
@@ -762,6 +776,7 @@ def _ratio_sweep(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """The OFFSTAT/OPT two-regime ratio figures (15-19) as one spec each."""
     spec = SweepSpec(
@@ -782,7 +797,7 @@ def _ratio_sweep(
         x_label=x_label,
         notes=notes,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
 
 
 @register_figure("fig15", quick=dict(runs=5))
@@ -797,6 +812,7 @@ def figure15(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter dynamic load."""
     return _ratio_sweep(
@@ -805,7 +821,7 @@ def figure15(
         ScenarioSpec("commuter", {"period": period}),
         n, horizon, runs, seed,
         "paper: benefit of flexibility peaks (≈2x) at moderate dynamics",
-        backend=backend, cache=cache, shard=shard, replication=replication,
+        backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison,
     )
 
 
@@ -821,6 +837,7 @@ def figure16(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, commuter static load."""
     return _ratio_sweep(
@@ -829,7 +846,7 @@ def figure16(
         ScenarioSpec("commuter", {"period": period, "dynamic_load": False}),
         n, horizon, runs, seed,
         "paper: β<c ≈1.2 flat then →1; β>c up to ≈2 at intermediate λ",
-        backend=backend, cache=cache, shard=shard, replication=replication,
+        backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison,
     )
 
 
@@ -845,6 +862,7 @@ def figure17(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs λ, time zones with 3 requests/round."""
     return _ratio_sweep(
@@ -854,7 +872,7 @@ def figure17(
         n, horizon, runs, seed,
         "paper: ratio rises quickly for small λ then declines ~linearly; "
         "β<c similar to β>c",
-        backend=backend, cache=cache, shard=shard, replication=replication,
+        backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison,
     )
 
 
@@ -870,6 +888,7 @@ def figure18(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter dynamic load."""
     return _ratio_sweep(
@@ -878,7 +897,7 @@ def figure18(
         ScenarioSpec("commuter", {"sojourn": sojourn}),
         n, horizon, runs, seed,
         "paper: ratio grows with T; β>c benefits more from flexibility",
-        backend=backend, cache=cache, shard=shard, replication=replication,
+        backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison,
     )
 
 
@@ -894,6 +913,7 @@ def figure19(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """OFFSTAT/OPT ratio vs T, commuter static load."""
     return _ratio_sweep(
@@ -902,7 +922,7 @@ def figure19(
         ScenarioSpec("commuter", {"sojourn": sojourn, "dynamic_load": False}),
         n, horizon, runs, seed,
         "paper: as Figure 18 but static load",
-        backend=backend, cache=cache, shard=shard, replication=replication,
+        backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison,
     )
 
 
@@ -928,6 +948,7 @@ def rocketfuel_table(
     cache=None,
     shard=None,
     replication=None,
+    comparison=None,
 ) -> FigureResult:
     """Total costs of OFFSTAT, ONTH and ONBR on the AT&T-like topology.
 
@@ -999,4 +1020,4 @@ def rocketfuel_table(
         x_label="metric",
         notes=_ROCKETFUEL_NOTES,
     )
-    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)

@@ -18,13 +18,16 @@ import numpy as np
 
 from repro.experiments.runner import FigureResult
 
-__all__ = ["ascii_chart", "render_figure_chart"]
+__all__ = ["ascii_chart", "render_comparison_chart", "render_figure_chart"]
 
 #: Series markers, assigned in order.
 _MARKERS = "ox*+#%@&"
 
 #: The shading character of error bands (never overwrites a marker).
 _BAND = "·"
+
+#: The character of a reference line (never overwrites markers or bands).
+_HLINE = "-"
 
 
 def ascii_chart(
@@ -33,6 +36,7 @@ def ascii_chart(
     height: int = 16,
     y_label: str = "",
     bands: "dict[str, tuple[list[float], list[float]]] | None" = None,
+    hline: "float | None" = None,
 ) -> str:
     """Render named numeric series as an ASCII chart.
 
@@ -49,6 +53,9 @@ def ascii_chart(
         bands: optional per-series ``(lows, highs)`` uncertainty bounds
             (each aligned with the series values); the vertical span
             between them is shaded with ``·`` wherever no marker sits.
+        hline: optional horizontal reference value (e.g. 0 for difference
+            charts, 1 for ratio charts), drawn with ``-`` under markers and
+            bands and included in the y scaling so it is always visible.
     """
     if not series:
         raise ValueError("ascii_chart needs at least one series")
@@ -67,6 +74,9 @@ def ascii_chart(
         if len(lows) != n_points or len(highs) != n_points:
             raise ValueError(f"band for {name!r} misaligned with series values")
 
+    if hline is not None and not math.isfinite(hline):
+        raise ValueError(f"hline must be finite, got {hline!r}")
+
     values = np.asarray([list(v) for v in series.values()], dtype=float)
     stack = [values]
     for lows, highs in bands.values():
@@ -76,6 +86,8 @@ def ascii_chart(
     if finite.size == 0:
         raise ValueError("series contain no finite values")
     lo, hi = float(finite.min()), float(finite.max())
+    if hline is not None:
+        lo, hi = min(lo, float(hline)), max(hi, float(hline))
     if math.isclose(lo, hi):
         lo, hi = lo - 0.5, hi + 0.5
 
@@ -87,7 +99,12 @@ def ascii_chart(
         return height - 1 - y
 
     grid = [[" "] * width for _ in range(height)]
-    # Bands first, markers after — a marker always wins its cell.
+    # Reference line first, bands next, markers last — a marker always wins
+    # its cell and a band wins over the line.
+    if hline is not None:
+        r = row(float(hline))
+        for x in range(width):
+            grid[r][x] = _HLINE
     for name, (lows, highs) in bands.items():
         for i in range(n_points):
             low, high = lows[i], highs[i]
@@ -95,7 +112,7 @@ def ascii_chart(
                 continue
             x = column(i)
             for r in range(row(high), row(low) + 1):
-                if grid[r][x] == " ":
+                if grid[r][x] in (" ", _HLINE):
                     grid[r][x] = _BAND
     for row_series, marker in zip(values, _MARKERS):
         for i, value in enumerate(row_series):
@@ -104,7 +121,7 @@ def ascii_chart(
             x = column(i)
             r = row(value)
             cell = grid[r][x]
-            grid[r][x] = marker if cell in (" ", _BAND, marker) else "?"
+            grid[r][x] = marker if cell in (" ", _BAND, _HLINE, marker) else "?"
 
     gutter = max(len(f"{hi:.4g}"), len(f"{lo:.4g}"))
     lines = []
@@ -183,3 +200,49 @@ def render_figure_chart(
         )
         footer += f"; {_BAND} = {what}"
     return f"[{result.figure}] {result.title}\n{chart}\n{footer}"
+
+
+def render_comparison_chart(
+    result: FigureResult,
+    width: int = 64,
+    height: int = 16,
+    show_bands: bool = True,
+) -> str:
+    """Chart a result's paired comparisons around their null line.
+
+    One series per contrast — the per-point paired difference (or ratio)
+    against the baseline — with its paired CI shaded (``show_bands``) and
+    the no-difference reference (0 for differences, 1 for ratios) drawn as
+    a horizontal line: a band clear of the line is an ordering settled at
+    the comparison's confidence level. Requires attached comparisons (a
+    sweep run with a :class:`~repro.api.specs.ComparisonSpec`).
+    """
+    if not result.has_comparisons:
+        raise ValueError(
+            "result carries no comparisons; run the sweep with "
+            "SweepSpec(comparison=ComparisonSpec(...))"
+        )
+    first = result.comparisons[0]
+    series = {}
+    bands: "dict[str, tuple[list[float], list[float]]]" = {}
+    for comparison in result.comparisons:
+        symbol = "Δ" if comparison.mode == "diff" else "/"
+        name = f"{symbol} {comparison.contrast}"
+        series[name] = list(comparison.values)
+        if show_bands:
+            lows = [low for low, _high in comparison.ci]
+            highs = [high for _low, high in comparison.ci]
+            if any(h > l for l, h in zip(lows, highs)):
+                bands[name] = (lows, highs)
+    chart = ascii_chart(
+        series, width=width, height=height, bands=bands, hline=first.null
+    )
+    xs = result.x_values
+    what = "Δ" if first.mode == "diff" else "ratio"
+    footer = (
+        f"{result.x_label}: {xs[0]} .. {xs[-1]} ({len(xs)} points); "
+        f"{what} vs {first.baseline}, {_HLINE} = no difference"
+    )
+    if bands:
+        footer += f"; {_BAND} = {first.level:.0%} paired CI"
+    return f"[{result.figure}] {result.title} — paired vs {first.baseline}\n{chart}\n{footer}"

@@ -52,6 +52,17 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def comparison_header(comparison) -> str:
+    """The column header of one attached comparison.
+
+    ``Δ CONTRAST`` for paired differences (read: contrast minus baseline),
+    ``CONTRAST/BASELINE`` for paired ratios.
+    """
+    if comparison.mode == "diff":
+        return f"Δ {comparison.contrast}"
+    return f"{comparison.contrast}/{comparison.baseline}"
+
+
 def format_figure(result: FigureResult, show_errors: bool = True) -> str:
     """Render a :class:`FigureResult` as a titled table.
 
@@ -62,6 +73,12 @@ def format_figure(result: FigureResult, show_errors: bool = True) -> str:
     *halfwidths* instead — headed by the level, e.g. ``±95%`` — and a
     final ``n`` column reports the per-point replicate count, which
     adaptive replication makes vary across points.
+
+    Attached paired comparisons (a sweep run with a
+    :class:`~repro.api.specs.ComparisonSpec`) append one column per
+    contrast — ``Δ CONTRAST`` against the baseline, or
+    ``CONTRAST/BASELINE`` in ratio mode — each with its own paired-CI
+    ``±`` column; a footer line names the baseline.
     """
     confident = result.has_confidence
     halfwidths = {
@@ -87,6 +104,14 @@ def format_figure(result: FigureResult, show_errors: bool = True) -> str:
         headers.append(name)
         if use_errors[name]:
             headers.append(error_header)
+    comparison_halfwidths = {}
+    for comparison in result.comparisons:
+        headers.append(comparison_header(comparison))
+        comparison_halfwidths[comparison.contrast] = tuple(
+            (high - low) / 2.0 for low, high in comparison.ci
+        )
+        if show_errors:
+            headers.append(f"±{comparison.level:.0%}")
     show_counts = confident and bool(result.counts)
     if show_counts:
         headers.append("n")
@@ -100,12 +125,22 @@ def format_figure(result: FigureResult, show_errors: bool = True) -> str:
                 row.append(
                     halfwidths[name][i] if confident else result.errors[name][i]
                 )
+        for comparison in result.comparisons:
+            row.append(comparison.values[i])
+            if show_errors:
+                row.append(comparison_halfwidths[comparison.contrast][i])
         if show_counts:
             row.append(int(result.counts[i]))
         rows.append(row)
 
     title = f"[{result.figure}] {result.title}"
     body = format_table(headers, rows)
+    footer = ""
+    if result.comparisons:
+        first = result.comparisons[0]
+        what = "Δ = contrast − baseline" if first.mode == "diff" else \
+            "ratio = contrast / baseline"
+        footer += f"\n  paired vs {first.baseline}: {what}"
     if result.notes:
-        return f"{title}\n{body}\n  note: {result.notes}"
-    return f"{title}\n{body}"
+        footer += f"\n  note: {result.notes}"
+    return f"{title}\n{body}{footer}"

@@ -23,22 +23,129 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.analysis.stats import (
+    COMPARISON_MODES,
+    ComparisonSummary,
     ConfidenceInterval,
     PointSummary,
     mean_stderr,
+    paired_summary,
     point_summary,
 )
 from repro.api.execution import ExecutionBackend, ReplicateTask, SerialBackend
 
 __all__ = [
+    "ComparisonResult",
     "FigureResult",
     "SeriesValidator",
     "aggregate_point_summaries",
     "aggregate_samples",
+    "compute_comparisons",
     "spawn_point_extension_tasks",
     "spawn_tasks",
     "sweep_experiment",
 ]
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """One paired contrast-vs-baseline comparison across a sweep.
+
+    Per sweep point the comparison holds the mean per-replicate difference
+    (``mode="diff"``: ``contrast - baseline``) or ratio (``mode="ratio"``:
+    ``contrast / baseline``), its standard error, the ``level`` confidence
+    interval over the paired values and the number of aligned replicate
+    pairs. Because both series share each replicate's trace (common random
+    numbers), these intervals are typically far tighter than the marginal
+    per-series ones — the comparison is what the paper's *relative* claims
+    actually rest on.
+    """
+
+    baseline: str
+    contrast: str
+    mode: str
+    level: float
+    values: tuple
+    stderr: tuple
+    ci: tuple
+    counts: tuple
+
+    def __post_init__(self) -> None:
+        if self.mode not in COMPARISON_MODES:
+            raise ValueError(
+                f"unknown comparison mode {self.mode!r}; expected one of "
+                f"{COMPARISON_MODES}"
+            )
+        if not 0.0 < self.level < 1.0:
+            raise ValueError(
+                f"comparison level must be in (0, 1), got {self.level}"
+            )
+        if self.contrast == self.baseline:
+            raise ValueError(
+                f"comparison contrast equals its baseline {self.baseline!r}"
+            )
+        n_points = len(self.values)
+        for name, attr in (("stderr", self.stderr), ("ci", self.ci),
+                           ("counts", self.counts)):
+            if len(attr) != n_points:
+                raise ValueError(
+                    f"comparison {self.contrast!r} {name} misaligned with "
+                    f"its {n_points} values"
+                )
+        for pair in self.ci:
+            if len(pair) != 2:
+                raise ValueError(
+                    f"comparison ci must hold (low, high) pairs, got {pair!r}"
+                )
+
+    @property
+    def null(self) -> float:
+        """The no-difference value: 0 for differences, 1 for ratios."""
+        return 0.0 if self.mode == "diff" else 1.0
+
+    def summaries(self) -> "tuple[ComparisonSummary, ...]":
+        """The :class:`ComparisonSummary` per sweep point."""
+        return tuple(
+            ComparisonSummary(
+                mode=self.mode,
+                mean=float(self.values[i]),
+                stderr=float(self.stderr[i]),
+                n=int(self.counts[i]),
+                ci=ConfidenceInterval(
+                    float(self.ci[i][0]), float(self.ci[i][1]), self.level
+                ),
+            )
+            for i in range(len(self.values))
+        )
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict form."""
+        return {
+            "baseline": self.baseline,
+            "contrast": self.contrast,
+            "mode": self.mode,
+            "level": float(self.level),
+            "values": [float(v) for v in self.values],
+            "stderr": [float(v) for v in self.stderr],
+            "ci": [[float(low), float(high)] for low, high in self.ci],
+            "counts": [int(n) for n in self.counts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ComparisonResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            baseline=data["baseline"],
+            contrast=data["contrast"],
+            mode=data["mode"],
+            level=float(data["level"]),
+            values=tuple(float(v) for v in data.get("values", ())),
+            stderr=tuple(float(v) for v in data.get("stderr", ())),
+            ci=tuple(
+                (float(pair[0]), float(pair[1]))
+                for pair in data.get("ci", ())
+            ),
+            counts=tuple(int(n) for n in data.get("counts", ())),
+        )
 
 
 @dataclass(frozen=True)
@@ -60,12 +167,17 @@ class FigureResult:
             :attr:`ci` is populated; adaptive replication makes them vary
             across points.
         ci_level: nominal coverage of :attr:`ci` (0 when absent).
+        comparisons: paired contrast-vs-baseline statistics
+            (:class:`ComparisonResult` per contrast) — non-empty exactly
+            when the sweep ran with a
+            :class:`~repro.api.specs.ComparisonSpec`.
         notes: free-text observations (paper expectation, caveats).
 
     The confidence annotations (:attr:`ci`/:attr:`counts`/:attr:`ci_level`)
-    are strictly additive: results without them serialise to exactly the
-    historical dict shape, which is what keeps pre-CI golden data and cache
-    entries bit-comparable.
+    and the :attr:`comparisons` payload are strictly additive: results
+    without them serialise to exactly the historical dict shape, which is
+    what keeps pre-CI/pre-comparison golden data and cache entries
+    bit-comparable.
     """
 
     figure: str
@@ -78,6 +190,7 @@ class FigureResult:
     ci: Mapping[str, tuple] = field(default_factory=dict)
     counts: tuple = ()
     ci_level: float = 0.0
+    comparisons: "tuple[ComparisonResult, ...]" = ()
 
     def __post_init__(self) -> None:
         for name, values in self.series.items():
@@ -112,6 +225,34 @@ class FigureResult:
             )
         if self.ci and not self.counts:
             raise ValueError("ci requires per-point counts")
+        object.__setattr__(
+            self,
+            "comparisons",
+            tuple(
+                c if isinstance(c, ComparisonResult)
+                else ComparisonResult.from_dict(c)
+                for c in self.comparisons
+            ),
+        )
+        seen_contrasts = set()
+        for comparison in self.comparisons:
+            for role, name in (("baseline", comparison.baseline),
+                               ("contrast", comparison.contrast)):
+                if name not in self.series:
+                    raise ValueError(
+                        f"comparison {role} {name!r} is not a result series"
+                    )
+            if len(comparison.values) != len(self.x_values):
+                raise ValueError(
+                    f"comparison {comparison.contrast!r} misaligned with "
+                    f"{len(self.x_values)} x points"
+                )
+            key = (comparison.contrast, comparison.mode)
+            if key in seen_contrasts:
+                raise ValueError(
+                    f"duplicate comparison for contrast {comparison.contrast!r}"
+                )
+            seen_contrasts.add(key)
 
     def y(self, name: str) -> tuple:
         """The y series called ``name``."""
@@ -126,6 +267,21 @@ class FigureResult:
     def has_confidence(self) -> bool:
         """Whether per-point confidence intervals are attached."""
         return bool(self.ci)
+
+    @property
+    def has_comparisons(self) -> bool:
+        """Whether paired comparison payloads are attached."""
+        return bool(self.comparisons)
+
+    def comparison_for(self, contrast: str) -> ComparisonResult:
+        """The attached comparison whose contrast series is ``contrast``."""
+        for comparison in self.comparisons:
+            if comparison.contrast == contrast:
+                return comparison
+        raise KeyError(
+            f"no comparison for contrast {contrast!r}; attached: "
+            f"{sorted(c.contrast for c in self.comparisons)}"
+        )
 
     def point_summaries(self, name: str) -> "tuple[PointSummary, ...]":
         """The :class:`PointSummary` per sweep point of series ``name``.
@@ -183,6 +339,8 @@ class FigureResult:
             }
             data["counts"] = [int(n) for n in self.counts]
             data["ci_level"] = float(self.ci_level)
+        if self.comparisons:
+            data["comparisons"] = [c.to_dict() for c in self.comparisons]
         return data
 
     @classmethod
@@ -202,6 +360,10 @@ class FigureResult:
             },
             counts=tuple(int(n) for n in data.get("counts", ())),
             ci_level=float(data.get("ci_level", 0.0)),
+            comparisons=tuple(
+                ComparisonResult.from_dict(c)
+                for c in data.get("comparisons", ())
+            ),
         )
 
 
@@ -298,6 +460,51 @@ class SeriesValidator:
             )
 
 
+def compute_comparisons(
+    point_values: "Mapping[str, Sequence[Sequence[float]]]",
+    comparison: "ComparisonSpec",
+) -> "tuple[ComparisonResult, ...]":
+    """Paired comparison payloads over per-point, per-replicate values.
+
+    ``point_values`` maps each series name to its per-point lists of
+    per-replicate values, replicate-aligned across series (every replicate
+    of a sweep point reports every series — the shape both aggregators
+    build). ``comparison`` is a
+    :class:`~repro.api.specs.ComparisonSpec`; its baseline/contrast names
+    are resolved against the series here, raising a clear
+    :class:`ValueError` for unknown names. Pure arithmetic over the sample
+    floats: cached and fresh samples compare bit-identically.
+    """
+    names = tuple(point_values)
+    contrasts = comparison.resolve_contrasts(names)
+    baseline_points = point_values[comparison.baseline]
+    results = []
+    for contrast in contrasts:
+        summaries = [
+            paired_summary(
+                values,
+                base,
+                mode=comparison.mode,
+                level=comparison.ci_level,
+                method=comparison.method,
+            )
+            for values, base in zip(point_values[contrast], baseline_points)
+        ]
+        results.append(
+            ComparisonResult(
+                baseline=comparison.baseline,
+                contrast=contrast,
+                mode=comparison.mode,
+                level=comparison.ci_level,
+                values=tuple(s.mean for s in summaries),
+                stderr=tuple(s.stderr for s in summaries),
+                ci=tuple((s.ci.low, s.ci.high) for s in summaries),
+                counts=tuple(s.n for s in summaries),
+            )
+        )
+    return tuple(results)
+
+
 def aggregate_samples(
     figure: str,
     title: str,
@@ -306,6 +513,7 @@ def aggregate_samples(
     samples: Sequence[Mapping[str, float]],
     runs: int,
     notes: str = "",
+    comparison: "ComparisonSpec | None" = None,
 ) -> FigureResult:
     """Fold flat per-replicate samples into a :class:`FigureResult`.
 
@@ -313,7 +521,9 @@ def aggregate_samples(
     points in ``x_values`` order) — the exact list a backend returns for
     :func:`spawn_tasks`'s tasks. Aggregation is pure arithmetic over the
     sample floats, so samples that round-tripped through a JSON point cache
-    aggregate bit-identically to freshly computed ones.
+    aggregate bit-identically to freshly computed ones. ``comparison``
+    additionally attaches paired contrast-vs-baseline payloads (see
+    :func:`compute_comparisons`) without touching the marginal series.
     """
     x_values = list(x_values)
     if len(samples) != len(x_values) * runs:
@@ -345,6 +555,12 @@ def aggregate_samples(
         series=series,
         errors=errors,
         notes=notes,
+        # a 0-point partial (shard mode) has no series to resolve against
+        comparisons=(
+            compute_comparisons(collected, comparison)
+            if comparison is not None and collected
+            else ()
+        ),
     )
 
 
@@ -357,6 +573,7 @@ def aggregate_point_summaries(
     ci_level: float,
     method: str = "t",
     notes: str = "",
+    comparison: "ComparisonSpec | None" = None,
 ) -> FigureResult:
     """Fold *ragged* per-point samples into a CI-annotated :class:`FigureResult`.
 
@@ -366,6 +583,8 @@ def aggregate_point_summaries(
     so a uniform-count input aggregates to identical series; on top of
     that every series gets per-point ``(low, high)`` confidence bounds at
     ``ci_level`` and the result records per-point replicate counts.
+    ``comparison`` attaches paired payloads exactly as in
+    :func:`aggregate_samples`.
     """
     x_values = list(x_values)
     if len(point_samples) != len(x_values):
@@ -409,6 +628,12 @@ def aggregate_point_summaries(
         counts=tuple(counts),
         ci_level=float(ci_level),
         notes=notes,
+        # a 0-point partial (shard mode) has no series to resolve against
+        comparisons=(
+            compute_comparisons(collected, comparison)
+            if comparison is not None and collected
+            else ()
+        ),
     )
 
 
@@ -422,6 +647,7 @@ def sweep_experiment(
     seed: int = 0,
     notes: str = "",
     backend: "ExecutionBackend | None" = None,
+    comparison: "ComparisonSpec | None" = None,
 ) -> FigureResult:
     """Run ``replicate`` ``runs`` times per sweep point and average.
 
@@ -437,6 +663,8 @@ def sweep_experiment(
         backend: where the replicates execute (``None`` = in-process serial).
             The result is backend-independent: every task carries its
             pre-spawned child seed.
+        comparison: optional :class:`~repro.api.specs.ComparisonSpec`
+            attaching paired contrast-vs-baseline payloads to the result.
 
     Returns:
         A :class:`FigureResult` with per-series means and standard errors.
@@ -462,5 +690,6 @@ def sweep_experiment(
             check_series(index, task, sample)
 
     return aggregate_samples(
-        figure, title, x_label, x_values, samples, runs, notes=notes
+        figure, title, x_label, x_values, samples, runs, notes=notes,
+        comparison=comparison,
     )

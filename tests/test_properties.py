@@ -20,6 +20,7 @@ from repro.algorithms.onth import OnTH
 from repro.algorithms.opt import Opt
 from repro.api.registry import resolve_policy
 from repro.api.specs import (
+    ComparisonSpec,
     CostSpec,
     ExperimentSpec,
     MetricSpec,
@@ -304,6 +305,32 @@ def replication_specs(draw):
 
 
 @st.composite
+def comparison_specs(draw, with_target=False):
+    baseline = draw(_names)
+    contrasts = draw(
+        st.just(())
+        | st.lists(
+            _names.filter(lambda n: n != baseline),
+            min_size=1, max_size=2, unique=True,
+        ).map(tuple)
+    )
+    return ComparisonSpec(
+        baseline=baseline,
+        contrasts=contrasts,
+        mode=draw(st.sampled_from(["diff", "ratio"])),
+        ci_level=draw(st.floats(0.5, 0.999, allow_nan=False)),
+        # a comparison target is only legal on adaptive sweeps
+        target_halfwidth=(
+            draw(st.none() | st.floats(0.001, 1e3, allow_nan=False))
+            if with_target
+            else None
+        ),
+        relative=draw(st.booleans()),
+        method=draw(st.sampled_from(["t", "bootstrap"])),
+    )
+
+
+@st.composite
 def sweep_specs(draw):
     experiment = draw(experiment_specs())
     shape = draw(st.sampled_from(["none", "horizon", "component", "coupled"]))
@@ -326,6 +353,8 @@ def sweep_specs(draw):
             for _ in range(draw(st.integers(1, 3)))
         )
         parameter = paths
+    replication = draw(st.none() | replication_specs())
+    adaptive = replication is not None and replication.adaptive
     return SweepSpec(
         experiment=experiment,
         parameter=parameter,
@@ -336,7 +365,10 @@ def sweep_specs(draw):
         title=draw(st.one_of(st.just(""), _names)),
         x_label=draw(st.one_of(st.just(""), _names)),
         notes=draw(st.one_of(st.just(""), _names)),
-        replication=draw(st.none() | replication_specs()),
+        replication=replication,
+        comparison=draw(
+            st.none() | comparison_specs(with_target=adaptive)
+        ),
     )
 
 
