@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Scaling/correctness harness for the work-queue execution backend.
+
+Runs a fixed fig03 size sweep three ways — serial (the reference), and
+drained through the SQLite work queue by 1 and by 4 OS worker processes —
+and records the wall time of each. The queue-assembled figures must be
+**bit-identical** to the serial result (the subsystem's core guarantee:
+tasks carry only positions, seeds re-derive from the spec), and the
+script exits non-zero on any divergence, making it a CI gate against
+seed-layout or assembly regressions. The 1-vs-4-worker times track the
+fan-out overhead of the broker itself.
+
+Usage::
+
+    python benchmarks/bench_queue.py [OUTPUT.json]
+
+Writes ``BENCH_queue.json`` (or OUTPUT) with the per-configuration wall
+times and bit-identity verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api.cache import ResultCache
+from repro.api.experiment import run_sweep
+from repro.experiments import figures
+from repro.queue.broker import Broker
+from repro.queue.worker import enqueue_sweep
+
+#: A fixed fig03 target: each sweep point is one queue task, so the work
+#: must dwarf per-worker interpreter startup (~1s) for the 4-worker run
+#: to show its fan-out — 8 points of a few seconds each, still CI-sized.
+FIG03_TARGET = dict(
+    sizes=(60, 90, 120, 150, 180, 210, 240, 270),
+    horizon=300, sojourn=10, runs=4, seed=2,
+)
+
+WORKER_COUNTS = (1, 4)
+
+
+def target_spec():
+    return figures._commuter_size_sweep(
+        "fig03", "cost vs network size, commuter dynamic load", True,
+        **FIG03_TARGET,
+    )
+
+
+def spawn_worker(queue: Path, cache_dir: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments", "worker",
+            "--queue", str(queue), "--cache-dir", str(cache_dir),
+            "--poll", "0.02", "--idle-exit", "2", "--quiet",
+        ],
+    )
+
+
+def drain_with(workers: int, spec, serial_dict: dict) -> dict:
+    """Enqueue the sweep, drain it with ``workers`` processes, verify."""
+    with tempfile.TemporaryDirectory() as root:
+        queue = Path(root) / "queue.db"
+        cache = ResultCache(Path(root) / "cache")
+        broker = Broker(queue)
+        job_id = enqueue_sweep(broker, cache, spec)["job"]
+
+        started = time.perf_counter()
+        procs = [spawn_worker(queue, Path(root) / "cache")
+                 for _ in range(workers)]
+        while True:
+            state = broker.job_state(job_id)
+            if state is not None and state["status"] in ("done", "failed"):
+                break
+            time.sleep(0.02)
+        elapsed = time.perf_counter() - started
+        for proc in procs:
+            proc.wait(timeout=60)
+
+        assembled = cache.load(spec)
+        return {
+            "workers": workers,
+            "elapsed_seconds": round(elapsed, 3),
+            "job_status": state["status"],
+            "bit_identical": (
+                assembled is not None
+                and assembled.to_dict() == serial_dict
+            ),
+        }
+
+
+def run() -> dict:
+    spec = target_spec()
+    started = time.perf_counter()
+    serial = run_sweep(spec)
+    serial_elapsed = time.perf_counter() - started
+    serial_dict = serial.to_dict()
+
+    results = [drain_with(n, spec, serial_dict) for n in WORKER_COUNTS]
+    by_count = {str(r["workers"]): r for r in results}
+    return {
+        "scenario": "fig03-queue",
+        "params": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in FIG03_TARGET.items()},
+        # wall times only mean something relative to the core count: on a
+        # single-core box 4 workers time-slice the same work and lose
+        "cpu_count": os.cpu_count(),
+        "serial": {"elapsed_seconds": round(serial_elapsed, 3)},
+        "queue": by_count,
+        "speedup_4_over_1": round(
+            by_count["1"]["elapsed_seconds"]
+            / max(by_count["4"]["elapsed_seconds"], 1e-9),
+            3,
+        ),
+        "all_bit_identical": all(r["bit_identical"] for r in results),
+        "all_done": all(r["job_status"] == "done" for r in results),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    output = argv[0] if argv else "BENCH_queue.json"
+    payload = run()
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    times = {n: payload["queue"][n]["elapsed_seconds"] for n in payload["queue"]}
+    print(
+        f"serial {payload['serial']['elapsed_seconds']}s; queue "
+        + ", ".join(f"{n} worker(s): {t}s" for n, t in times.items())
+        + f" (4v1 speedup {payload['speedup_4_over_1']}x) -> {output}"
+    )
+    if not payload["all_done"]:
+        print("FAIL: a queue-drained job did not finish", file=sys.stderr)
+        return 1
+    if not payload["all_bit_identical"]:
+        print("FAIL: a queue-assembled figure diverged from the serial "
+              "run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,12 @@ it runs. This example
    on common random numbers: the shared trace noise cancels out of the
    per-replicate differences, so paired intervals are several times
    tighter than marginal ones — and a paired adaptive sweep settles the
-   same ordering with a fraction of the replicates.
+   same ordering with a fraction of the replicates, and
+10. runs the same sweep through a :class:`QueueBackend` — a single-file
+    SQLite work queue that any number of worker processes may drain
+    (``python -m repro.experiments worker``); with zero external workers
+    the backend drains its own queue, and either way the result is
+    bit-identical to serial.
 
 Run:  python examples/declarative_specs.py
 """
@@ -42,6 +47,7 @@ from repro import (
     MetricSpec,
     PolicySpec,
     ProcessPoolBackend,
+    QueueBackend,
     ReplicationSpec,
     ResultCache,
     ScenarioSpec,
@@ -241,6 +247,26 @@ def main() -> None:
         f"{sum(paired.counts)} ({saved:.0%} saved, same ordering);\n"
         "  CLI: ... --compare OFFSTAT --target-halfwidth 200 --max-runs 16"
     )
+
+    # 10. The same sweep through a shared work queue. The backend publishes
+    #     each replicate as a task on a single SQLite file; any number of
+    #     `python -m repro.experiments worker --queue ... --cache-dir ...`
+    #     processes (on any machine sharing the filesystem) may pick them
+    #     up, and killed workers' leases expire and re-serve. With no
+    #     external workers — as here — the backend drains its own queue,
+    #     so the queue admits helpers without requiring them. Tasks carry
+    #     their pre-spawned seeds, so the answer is bit-identical to
+    #     serial no matter who executes what.
+    with tempfile.TemporaryDirectory() as root:
+        queued = run_sweep(
+            sweep, backend=QueueBackend(f"{root}/queue.db", chunk=2)
+        )
+        assert queued == serial
+        print(
+            "\nqueue-backed sweep matches serial bit for bit;\n"
+            "  CLI: ... enqueue/worker/serve --queue sweeps.db "
+            "--cache-dir cache/"
+        )
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from repro.api import (
     MetricSpec,
     PolicySpec,
     ProcessPoolBackend,
+    QueueBackend,
     ReplicationSpec,
     ResultCache,
     ScenarioSpec,
@@ -130,6 +131,7 @@ __all__ = [
     "SweepSpec",
     "SerialBackend",
     "ProcessPoolBackend",
+    "QueueBackend",
     "ResultCache",
     "refine_sweep",
     "run_experiment",

@@ -74,6 +74,7 @@ _EXPORTS = {
     "ExecutionBackend": "repro.api.execution",
     "SerialBackend": "repro.api.execution",
     "ProcessPoolBackend": "repro.api.execution",
+    "QueueBackend": "repro.api.execution",
     # experiment
     "ExperimentResult": "repro.api.experiment",
     "SpecReplicate": "repro.api.experiment",

@@ -492,12 +492,26 @@ class ResultCache:
     # -- maintenance ------------------------------------------------------------
 
     def entries(self) -> "Iterator[Path]":
-        """Every entry file currently in the cache (any kind, any schema)."""
-        if not self.root.is_dir():
+        """Every entry file currently in the cache (any kind, any schema).
+
+        The directory is shared by uncoordinated processes: buckets (or the
+        root itself) may vanish between listing and descent when a
+        concurrent ``clear``/``prune`` runs, and in-flight atomic writes
+        leave ``*.tmp`` files that are not entries. Both are skipped, never
+        raised — :meth:`stats` and :meth:`prune` must work on a live cache.
+        """
+        try:
+            buckets = sorted(self.root.iterdir())
+        except OSError:  # root missing or deleted mid-listing
             return
-        for bucket in sorted(self.root.iterdir()):
-            if bucket.is_dir() and len(bucket.name) == 2:
-                yield from sorted(bucket.glob("*.json"))
+        for bucket in buckets:
+            if not (bucket.is_dir() and len(bucket.name) == 2):
+                continue
+            try:
+                files = sorted(bucket.glob("*.json"))
+            except OSError:  # bucket deleted between iterdir and glob
+                continue
+            yield from files
 
     def stats(self) -> dict:
         """A summary of what is on disk: entry/byte counts per entry kind."""

@@ -30,6 +30,7 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -42,6 +43,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "QueueBackend",
 ]
 
 #: A replicate maps ``(x, rng) -> {series name: value}``.
@@ -204,3 +206,165 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def __repr__(self) -> str:
         return f"ProcessPoolBackend(workers={self.workers})"
+
+
+class QueueBackend(ExecutionBackend):
+    """Fan replicates out through a :class:`repro.queue.broker.Broker`.
+
+    Where :class:`ProcessPoolBackend` owns its workers,
+    :class:`QueueBackend` publishes the batch as *block* tasks on a shared
+    queue file and lets whoever is draining that queue — external
+    ``repro-experiments worker`` processes, possibly on other machines
+    sharing the filesystem — execute them. Each block task carries the
+    pickled ``(replicate, tasks)`` chunk and returns its pickled samples
+    on the task row, so the batch needs no cache and works for arbitrary
+    replicates (same pickling contract as the pool; unpicklable work
+    degrades to serial with the same warning).
+
+    With ``local=True`` (the default) the backend also work-steals its own
+    block tasks between polls, so a sweep makes progress even with zero
+    external workers — the queue then merely *admits* helpers instead of
+    requiring them.
+
+    Results are bit-identical to serial execution: tasks carry their
+    pre-spawned seeds, and chunk results are reassembled in task order.
+
+    Args:
+        queue: the queue database path, or an existing ``Broker``.
+        chunk: replicate tasks per block task (larger = fewer, longer
+            leases).
+        poll: seconds between progress polls while waiting on external
+            workers.
+        ttl: lease lifetime granted to whichever worker takes a block.
+        local: execute unleased blocks in-process while waiting.
+        timeout: seconds before giving up on a stuck queue (``None`` =
+            wait forever; abandoned leases re-serve on their own).
+    """
+
+    def __init__(
+        self,
+        queue,
+        chunk: int = 1,
+        poll: float = 0.05,
+        ttl: "float | None" = None,
+        local: bool = True,
+        timeout: "float | None" = None,
+    ) -> None:
+        from repro.queue.broker import Broker
+
+        self.broker = queue if isinstance(queue, Broker) else Broker(queue)
+        chunk = int(chunk)
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self.chunk = chunk
+        self.poll = float(poll)
+        self.ttl = ttl
+        self.local = bool(local)
+        self.timeout = timeout
+
+    def run_replicates(
+        self,
+        replicate: Replicate,
+        tasks: Sequence[ReplicateTask],
+        on_result: "ResultHook | None" = None,
+    ) -> list:
+        import uuid
+
+        from repro.queue.broker import default_worker_id
+
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if not _is_picklable(replicate) or not _is_picklable(tasks):
+            warnings.warn(
+                "replicate (or its tasks) is not picklable and cannot "
+                "travel through the queue; running the batch serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialBackend().run_replicates(replicate, tasks, on_result)
+
+        chunks = [
+            tasks[start : start + self.chunk]
+            for start in range(0, len(tasks), self.chunk)
+        ]
+        job_id = f"block:{uuid.uuid4().hex}"
+        self.broker.enqueue_job(
+            job_id,
+            "block",
+            tasks=[
+                (
+                    "block",
+                    {"chunk": k},
+                    pickle.dumps(
+                        (replicate, chunk), protocol=pickle.HIGHEST_PROTOCOL
+                    ),
+                )
+                for k, chunk in enumerate(chunks)
+            ],
+        )
+        worker = f"{default_worker_id()}:backend"
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        blocks: "list[list | None]" = [None] * len(chunks)
+        delivered = 0  # chunks whose samples went through on_result
+        try:
+            while True:
+                for row in self.broker.tasks_for(job_id):
+                    if row["status"] == "failed":
+                        raise RuntimeError(
+                            f"queue task for chunk "
+                            f"{row['payload'].get('chunk')} failed: "
+                            f"{row['error']}"
+                        )
+                    if row["status"] == "done" and row["result"] is not None:
+                        k = int(row["payload"]["chunk"])
+                        if blocks[k] is None:
+                            blocks[k] = pickle.loads(row["result"])
+                while delivered < len(chunks) and blocks[delivered] is not None:
+                    if on_result is not None:
+                        base = delivered * self.chunk
+                        for offset, sample in enumerate(blocks[delivered]):
+                            on_result(
+                                base + offset, tasks[base + offset], sample
+                            )
+                    delivered += 1
+                if delivered == len(chunks):
+                    break
+                progressed = False
+                if self.local:
+                    lease = self.broker.lease_task(
+                        worker, ttl=self.ttl, job=job_id, kinds=("block",)
+                    )
+                    if lease is not None:
+                        chunk_replicate, chunk_tasks = pickle.loads(lease.blob)
+                        samples = SerialBackend().run_replicates(
+                            chunk_replicate, chunk_tasks
+                        )
+                        self.broker.complete(
+                            lease,
+                            pickle.dumps(
+                                samples, protocol=pickle.HIGHEST_PROTOCOL
+                            ),
+                        )
+                        progressed = True
+                if not progressed:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"queue batch {job_id} incomplete after "
+                            f"{self.timeout}s ({delivered}/{len(chunks)} "
+                            "chunks done)"
+                        )
+                    time.sleep(self.poll)
+        finally:
+            # block jobs are transient transport, not cache: drop the rows
+            # (and their pickled payloads) whatever happened
+            self.broker.delete_job(job_id)
+        return [sample for block in blocks for sample in block]
+
+    def __repr__(self) -> str:
+        return (
+            f"QueueBackend({str(self.broker.path)!r}, chunk={self.chunk}, "
+            f"local={self.local})"
+        )

@@ -33,7 +33,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import paired_summary, point_summary, t_critical
+from repro.analysis.stats import t_critical
 from repro.api.execution import ExecutionBackend, ReplicateTask, SerialBackend
 from repro.api.metrics import MetricContext, PolicyRun, evaluate_metrics
 from repro.api.specs import (
@@ -493,58 +493,6 @@ def run_sweep(
     return result
 
 
-def _point_met(
-    samples: "Sequence[Mapping[str, float]]",
-    rep: ReplicationSpec,
-    comparison: "ComparisonSpec | None" = None,
-) -> bool:
-    """Does this point meet its CI halfwidth target?
-
-    Without a comparison every *marginal* series interval must meet the
-    replication target. With one, the criterion is the *paired* halfwidth
-    of every contrast-vs-baseline interval instead: the paired spread is
-    what the relative claims rest on, and — replicates sharing one trace —
-    it is typically far tighter, so paired sweeps stop with fewer
-    replicates while settling the same orderings. The paired target is the
-    comparison's own ``target_halfwidth`` when set, else the replication
-    one.
-
-    A point with fewer than two replicates never qualifies — its stderr is
-    identically zero, which proves nothing about precision.
-    """
-    if len(samples) < 2:
-        return False
-    if comparison is not None:
-        # resolve first: it validates the baseline, so a typo'd name raises
-        # ComparisonSeriesError here instead of a raw KeyError below
-        contrasts = comparison.resolve_contrasts(tuple(samples[0]))
-        baseline = [sample[comparison.baseline] for sample in samples]
-        if comparison.target_halfwidth is not None:
-            target, relative = comparison.target_halfwidth, comparison.relative
-        else:
-            target, relative = rep.target_halfwidth, rep.relative
-        for name in contrasts:
-            summary = paired_summary(
-                [sample[name] for sample in samples],
-                baseline,
-                mode=comparison.mode,
-                level=comparison.ci_level,
-                method=comparison.method,
-            )
-            if not summary.meets(target, relative):
-                return False
-        return True
-    for name in samples[0]:
-        summary = point_summary(
-            [sample[name] for sample in samples],
-            level=rep.ci_level,
-            method=rep.method,
-        )
-        if not summary.meets(rep.target_halfwidth, rep.relative):
-            return False
-    return True
-
-
 def _run_batched(backend, replicate, spans, validator) -> None:
     """Run several task blocks as one backend batch, committing per block.
 
@@ -599,6 +547,7 @@ def _run_confidence_sweep(
     from repro.experiments.runner import (
         SeriesValidator,
         aggregate_point_summaries,
+        point_meets_target,
         spawn_point_extension_tasks,
         spawn_tasks,
     )
@@ -675,7 +624,7 @@ def _run_confidence_sweep(
             still_open = []
             for i in open_points:
                 have = len(samples[i])
-                if have >= rep.max_runs or _point_met(
+                if have >= rep.max_runs or point_meets_target(
                     samples[i], rep, spec.comparison
                 ):
                     continue

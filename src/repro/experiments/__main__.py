@@ -128,6 +128,33 @@ def _backend_for(workers: "int | None"):
     return ProcessPoolBackend(workers)
 
 
+def _backend_from_args(args):
+    """The backend selected by ``--workers``/``--queue``; they conflict.
+
+    Callers must have rejected the combination already (see
+    :func:`_validate_backend_args`) — both flags claim the same decision,
+    and silently preferring one would mislead.
+    """
+    queue = getattr(args, "queue", None)
+    if queue is not None:
+        from repro.api.execution import QueueBackend
+
+        return QueueBackend(queue)
+    return _backend_for(getattr(args, "workers", None))
+
+
+def _validate_backend_args(args) -> None:
+    """Reject ``--queue`` + ``--workers`` (one execution strategy at a time)."""
+    if getattr(args, "queue", None) is not None and getattr(
+        args, "workers", None
+    ) is not None:
+        raise ValueError(
+            "--queue and --workers are mutually exclusive: the queue "
+            "backend already fans out to every worker process on the "
+            "queue file"
+        )
+
+
 def _worker_count(text: str) -> int:
     """argparse type for ``--workers``: a positive integer."""
     try:
@@ -136,6 +163,40 @@ def _worker_count(text: str) -> int:
         raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (``--runs``, ...).
+
+    Keeps ``--runs 0`` a clean exit-2 flag error instead of a
+    ``ValueError`` traceback out of the sweep engine mid-run.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parse_queue(text: str) -> str:
+    """argparse type for ``--queue PATH``: the queue database file.
+
+    Rejects the obviously-wrong shapes up front (empty, an existing
+    directory) with a one-line flag error; everything else is handed to
+    the broker, whose own failures the commands turn into exit 2.
+    """
+    from pathlib import Path
+
+    value = text.strip()
+    if not value:
+        raise argparse.ArgumentTypeError("queue path must not be empty")
+    if Path(value).expanduser().is_dir():
+        raise argparse.ArgumentTypeError(
+            f"queue path {text!r} is a directory; pass a database file path"
+        )
     return value
 
 
@@ -443,12 +504,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the master seed"
     )
     parser.add_argument(
-        "--runs", type=int, default=None,
+        "--runs", type=_positive_int, default=None,
         help="override the replicate count per sweep point",
     )
     parser.add_argument(
         "--workers", type=_worker_count, default=None,
         help="run sweep replicates on N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--queue", type=_parse_queue, default=None, metavar="PATH",
+        help=(
+            "run sweep replicates through the work queue at PATH; any "
+            "'worker' processes on the same queue file share the load; "
+            "incompatible with --workers"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -468,15 +537,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_run_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments run",
-        description=(
-            "Run any registered policy/scenario/topology combination from a "
-            "declarative spec. Component arguments take the form "
-            "kind[:key=value,...], e.g. erdos_renyi:n=200,p=0.02."
-        ),
-    )
+def _add_spec_flags(parser: argparse.ArgumentParser) -> None:
+    """The flags composing a declarative :class:`SweepSpec`.
+
+    Shared verbatim between ``run`` (execute now) and ``enqueue`` (publish
+    onto a work queue) so the two commands describe identical sweeps —
+    same defaults, same cache keys.
+    """
     parser.add_argument(
         "--policy", action="append", required=True, metavar="KIND[:PARAMS]",
         help=(
@@ -529,11 +596,34 @@ def build_run_parser() -> argparse.ArgumentParser:
             "topology.n=100,200 (default: single point)"
         ),
     )
-    parser.add_argument("--runs", type=int, default=3, help="replicates per point")
+    parser.add_argument(
+        "--runs", type=_positive_int, default=3, help="replicates per point"
+    )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments run",
+        description=(
+            "Run any registered policy/scenario/topology combination from a "
+            "declarative spec. Component arguments take the form "
+            "kind[:key=value,...], e.g. erdos_renyi:n=200,p=0.02."
+        ),
+    )
+    _add_spec_flags(parser)
     parser.add_argument(
         "--workers", type=_worker_count, default=None,
         help="run replicates on N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--queue", type=_parse_queue, default=None, metavar="PATH",
+        help=(
+            "run replicates through the work queue at PATH (see the "
+            "'worker' subcommand): this process drains blocks itself and "
+            "any workers on the same queue file help; incompatible with "
+            "--workers"
+        ),
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -558,14 +648,21 @@ def build_run_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: first-positional subcommands; anything else is treated as a figure id.
+_SUBCOMMANDS = {
+    "run": lambda argv: run_command(argv),
+    "list": lambda argv: list_command(argv),
+    "cache": lambda argv: cache_command(argv),
+    "enqueue": lambda argv: enqueue_command(argv),
+    "worker": lambda argv: worker_command(argv),
+    "serve": lambda argv: serve_command(argv),
+}
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "run":
-        return run_command(argv[1:])
-    if argv and argv[0] == "list":
-        return list_command(argv[1:])
-    if argv and argv[0] == "cache":
-        return cache_command(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
 
     args = build_parser().parse_args(argv)
 
@@ -576,6 +673,7 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         return 2
     try:
+        _validate_backend_args(args)
         _validate_confidence_args(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -592,7 +690,11 @@ def main(argv: "list[str] | None" = None) -> int:
     try:
         key = _lookup_figure(args.figure)
     except UnknownNameError as error:
-        print(f"{error}; use --list", file=sys.stderr)
+        print(
+            f"{error}; use --list, or one of the subcommands: "
+            f"{', '.join(sorted(_SUBCOMMANDS))}",
+            file=sys.stderr,
+        )
         return 2
     try:
         _validate_figure_replication(key, args)
@@ -641,7 +743,7 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
     for flag, option, value in (
         ("seed", "seed", args.seed),
         ("runs", "runs", args.runs),
-        ("backend", "workers", _backend_for(args.workers)),
+        ("backend", "workers/--queue", _backend_from_args(args)),
         ("cache", "cache-dir", cache),
         ("shard", "shard", getattr(args, "shard", None)),
         ("replication", "ci/--target-halfwidth", _replication_for(args)),
@@ -797,9 +899,51 @@ def spec_from_args(args) -> SweepSpec:
     )
 
 
+def _validated_spec(args) -> SweepSpec:
+    """Build and pre-flight the sweep a ``run``/``enqueue`` call describes.
+
+    Builds every sweep point's components up front (substrate, scenario,
+    policies, metrics — everything but the simulation) so typos and bad
+    values anywhere in ``--sweep`` fail fast with a one-line message
+    instead of a traceback after earlier points already ran — or, worse
+    for ``enqueue``, a poisoned job failing worker by worker. Raises the
+    same :class:`ValueError`-family errors the flag validators do.
+    """
+    from repro.api.experiment import resolve_series_labels
+
+    _validate_confidence_args(args)
+    spec = spec_from_args(args)
+    substrate = None
+    topology_swept = any(
+        path.startswith("topology.") for path in spec.parameter_paths
+    )
+    for value in spec.values:
+        probe = spec.experiment_at(value)
+        if substrate is None or topology_swept:
+            substrate = probe.topology.build(np.random.default_rng(spec.seed))
+        probe.scenario.build(substrate)
+        resolve_series_labels(probe)
+    for metric in spec.experiment.metrics:
+        # Resolve the kind and check the parameter names against the
+        # metric's signature (the leading placeholder stands in for the
+        # evaluation context).
+        inspect.signature(metric.resolve()).bind(None, **metric.params)
+    if spec.comparison is not None and all(
+        m.kind == "total_cost" and m.label is None
+        for m in spec.experiment.metrics
+    ):
+        # With the default metric the result series are exactly the
+        # policy labels, so a typo'd --compare baseline can fail fast
+        # here; metric-derived series names only exist after simulating.
+        spec.comparison.resolve_contrasts(
+            resolve_series_labels(spec.experiment)
+        )
+    return spec
+
+
 def run_command(argv: "list[str]") -> int:
     """Entry point of ``python -m repro.experiments run ...``."""
-    from repro.api.experiment import resolve_series_labels, run_sweep
+    from repro.api.experiment import run_sweep
 
     args = build_run_parser().parse_args(argv)
     if args.shard is not None and _cache_for(args) is None:
@@ -815,39 +959,8 @@ def run_command(argv: "list[str]") -> int:
         )
         return 2
     try:
-        _validate_confidence_args(args)
-        spec = spec_from_args(args)
-        # Build every sweep point's components up front (substrate, scenario,
-        # policies, metrics — everything but the simulation) so typos and bad
-        # values anywhere in --sweep fail fast with a one-line message
-        # instead of a traceback after earlier points already ran. The sweep
-        # itself runs outside this guard: a mid-simulation exception is a
-        # library bug and should surface with its full traceback.
-        substrate = None
-        topology_swept = any(
-            path.startswith("topology.") for path in spec.parameter_paths
-        )
-        for value in spec.values:
-            probe = spec.experiment_at(value)
-            if substrate is None or topology_swept:
-                substrate = probe.topology.build(np.random.default_rng(spec.seed))
-            probe.scenario.build(substrate)
-            resolve_series_labels(probe)
-        for metric in spec.experiment.metrics:
-            # Resolve the kind and check the parameter names against the
-            # metric's signature (the leading placeholder stands in for the
-            # evaluation context).
-            inspect.signature(metric.resolve()).bind(None, **metric.params)
-        if spec.comparison is not None and all(
-            m.kind == "total_cost" and m.label is None
-            for m in spec.experiment.metrics
-        ):
-            # With the default metric the result series are exactly the
-            # policy labels, so a typo'd --compare baseline can fail fast
-            # here; metric-derived series names only exist after simulating.
-            spec.comparison.resolve_contrasts(
-                resolve_series_labels(spec.experiment)
-            )
+        _validate_backend_args(args)
+        spec = _validated_spec(args)
     except (UnknownNameError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -857,7 +970,7 @@ def run_command(argv: "list[str]") -> int:
     try:
         result = run_sweep(
             spec,
-            backend=_backend_for(args.workers),
+            backend=_backend_from_args(args),
             cache=cache,
             shard=args.shard,
             resume=args.resume,
@@ -899,7 +1012,13 @@ def run_command(argv: "list[str]") -> int:
         if result.has_comparisons:
             print()
             print(render_comparison_chart(result))
-    print(f"  ({elapsed:.1f}s, backend={'serial' if not args.workers or args.workers <= 1 else f'{args.workers} workers'})")
+    if args.queue:
+        backend_label = f"queue {args.queue}"
+    elif args.workers and args.workers > 1:
+        backend_label = f"{args.workers} workers"
+    else:
+        backend_label = "serial"
+    print(f"  ({elapsed:.1f}s, backend={backend_label})")
     return 0
 
 
@@ -970,6 +1089,251 @@ def cache_command(argv: "list[str]") -> int:
     else:
         for key, value in payload.items():
             print(f"{key}: {value}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# The queue subcommands: enqueue / worker / serve
+# ---------------------------------------------------------------------------
+
+
+def _add_queue_flags(
+    parser: argparse.ArgumentParser, cache_required: bool = True
+) -> None:
+    parser.add_argument(
+        "--queue", type=_parse_queue, required=True, metavar="PATH",
+        help="the shared queue database file (created on first use)",
+    )
+    parser.add_argument(
+        "--cache-dir", required=cache_required, metavar="DIR",
+        help=(
+            "the shared result cache directory; workers commit replicate "
+            "samples here and the final figure assembles from it"
+        ),
+    )
+
+
+def build_enqueue_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments enqueue",
+        description=(
+            "Publish a declarative sweep onto a work queue as per-point "
+            "tasks (same spec flags as 'run'); 'worker' processes on the "
+            "same --queue/--cache-dir execute them and assemble the "
+            "figure. A warm cache answers immediately without enqueueing "
+            "anything."
+        ),
+    )
+    _add_spec_flags(parser)
+    _add_confidence_flags(parser)
+    _add_queue_flags(parser)
+    parser.add_argument(
+        "--requeue", action="store_true",
+        help="re-create the job if a previous identical one failed",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print the figure result",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="status poll interval with --wait (default 0.5)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit job state (and, with --wait, the result) as JSON",
+    )
+    return parser
+
+
+def enqueue_command(argv: "list[str]") -> int:
+    """Entry point of ``python -m repro.experiments enqueue ...``."""
+    import sqlite3
+
+    from repro.queue.broker import Broker
+    from repro.queue.worker import enqueue_sweep
+
+    args = build_enqueue_parser().parse_args(argv)
+    try:
+        spec = _validated_spec(args)
+    except (UnknownNameError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    try:
+        broker = Broker(args.queue)
+        state = enqueue_sweep(broker, cache, spec, requeue=args.requeue)
+    except (sqlite3.Error, OSError, ValueError) as error:
+        print(f"error: cannot open queue {args.queue!r}: {error}",
+              file=sys.stderr)
+        return 2
+
+    if args.wait and not state.get("cached"):
+        while state is not None and state["status"] not in ("done", "failed"):
+            time.sleep(args.poll)
+            state = broker.job_state(state["job"])
+        if state is None:
+            print("error: job vanished from the queue", file=sys.stderr)
+            return 1
+
+    if state["status"] == "failed":
+        print(f"error: job failed: {state.get('error')}", file=sys.stderr)
+        return 1
+
+    result = cache.load(spec) if state["status"] == "done" else None
+    if args.json:
+        payload = dict(state)
+        if result is not None and (args.wait or state.get("cached")):
+            payload["result"] = result.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
+    if state.get("cached"):
+        print(f"cache hit {state['job'][:12]}; nothing enqueued",
+              file=sys.stderr)
+    else:
+        pending = state["tasks"].get("pending", 0)
+        verb = "enqueued" if state.get("created") else "already queued"
+        print(
+            f"job {state['job'][:12]} {verb}: {pending} pending task(s) "
+            f"on {args.queue}",
+            file=sys.stderr,
+        )
+    if result is not None and (args.wait or state.get("cached")):
+        print(format_figure(result))
+    return 0
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments worker",
+        description=(
+            "Drain a work queue: lease tasks, run them into the shared "
+            "cache, assemble finished figures. Run any number of these "
+            "against one --queue/--cache-dir; killed workers' leases "
+            "expire and their tasks are re-served."
+        ),
+    )
+    _add_queue_flags(parser)
+    parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="sleep between polls when the queue is empty (default 0.5)",
+    )
+    parser.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="lease lifetime; a silent worker's task re-serves after this",
+    )
+    parser.add_argument(
+        "--max-tasks", type=_positive_int, default=None, metavar="N",
+        help="exit after executing N tasks (default: unlimited)",
+    )
+    parser.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after the queue stayed empty this long (default: never)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-task log lines"
+    )
+    return parser
+
+
+def worker_command(argv: "list[str]") -> int:
+    """Entry point of ``python -m repro.experiments worker ...``."""
+    import sqlite3
+
+    from repro.queue.broker import DEFAULT_TTL, Broker, default_worker_id
+    from repro.queue.worker import worker_loop
+
+    args = build_worker_parser().parse_args(argv)
+    if args.ttl is not None and not args.ttl > 0:
+        print(f"error: --ttl must be > 0, got {args.ttl}", file=sys.stderr)
+        return 2
+    ttl = args.ttl if args.ttl is not None else DEFAULT_TTL
+    worker_id = default_worker_id()
+    log = None if args.quiet else (
+        lambda message: print(f"[{worker_id}] {message}", file=sys.stderr)
+    )
+    try:
+        broker = Broker(args.queue, ttl=ttl)
+    except (sqlite3.Error, OSError, ValueError) as error:
+        print(f"error: cannot open queue {args.queue!r}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        executed = worker_loop(
+            broker,
+            ResultCache(args.cache_dir),
+            poll=args.poll,
+            ttl=ttl,
+            max_tasks=args.max_tasks,
+            idle_exit=args.idle_exit,
+            worker_id=worker_id,
+            log=log,
+        )
+    except KeyboardInterrupt:
+        print(f"[{worker_id}] interrupted", file=sys.stderr)
+        return 130
+    if log is not None:
+        log(f"exiting after {executed} task(s)")
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description=(
+            "Serve sweep results over HTTP: POST /sweep with a SweepSpec "
+            "JSON answers warm specs from the cache instantly and queues "
+            "cold ones for the workers; GET /jobs/<id> polls to "
+            "completion."
+        ),
+    )
+    _add_queue_flags(parser)
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (default 8765; 0 = pick)"
+    )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=0, metavar="N",
+        help=(
+            "also drain the queue with N in-process worker threads "
+            "(default 0: rely on external 'worker' processes)"
+        ),
+    )
+    return parser
+
+
+def serve_command(argv: "list[str]") -> int:
+    """Entry point of ``python -m repro.experiments serve ...``."""
+    import sqlite3
+
+    from repro.queue.service import ResultsServer
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        server = ResultsServer(
+            (args.host, args.port), args.queue, args.cache_dir
+        )
+    except (sqlite3.Error, OSError, ValueError) as error:
+        print(f"error: cannot serve on {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    if args.workers:
+        server.start_workers(args.workers)
+    print(
+        f"serving results on {server.url} "
+        f"(queue {args.queue}, cache {args.cache_dir}, "
+        f"{args.workers} in-process worker(s)) — Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
     return 0
 
 

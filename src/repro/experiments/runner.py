@@ -40,6 +40,7 @@ __all__ = [
     "aggregate_point_summaries",
     "aggregate_samples",
     "compute_comparisons",
+    "point_meets_target",
     "spawn_point_extension_tasks",
     "spawn_tasks",
     "sweep_experiment",
@@ -458,6 +459,64 @@ class SeriesValidator:
                 f"replicate at x={task.x!r} (run {index % self.runs}) returned "
                 f"series {sorted(keys)}, expected {sorted(self.expected)}"
             )
+
+
+def point_meets_target(
+    samples: "Sequence[Mapping[str, float]]",
+    replication: "ReplicationSpec",
+    comparison: "ComparisonSpec | None" = None,
+) -> bool:
+    """Does this point's sample block meet its CI halfwidth target?
+
+    Without a comparison every *marginal* series interval must meet the
+    replication target. With one, the criterion is the *paired* halfwidth
+    of every contrast-vs-baseline interval instead: the paired spread is
+    what the relative claims rest on, and — replicates sharing one trace —
+    it is typically far tighter, so paired sweeps stop with fewer
+    replicates while settling the same orderings. The paired target is the
+    comparison's own ``target_halfwidth`` when set, else the replication
+    one.
+
+    A point with fewer than two replicates never qualifies — its stderr is
+    identically zero, which proves nothing about precision.
+
+    The check is a pure function of the sample block, which is what lets
+    every executor of an adaptive sweep — serial, sharded, or uncoordinated
+    queue workers — replay the exact same top-up schedule from the same
+    cached samples.
+    """
+    rep = replication
+    if len(samples) < 2:
+        return False
+    if comparison is not None:
+        # resolve first: it validates the baseline, so a typo'd name raises
+        # ComparisonSeriesError here instead of a raw KeyError below
+        contrasts = comparison.resolve_contrasts(tuple(samples[0]))
+        baseline = [sample[comparison.baseline] for sample in samples]
+        if comparison.target_halfwidth is not None:
+            target, relative = comparison.target_halfwidth, comparison.relative
+        else:
+            target, relative = rep.target_halfwidth, rep.relative
+        for name in contrasts:
+            summary = paired_summary(
+                [sample[name] for sample in samples],
+                baseline,
+                mode=comparison.mode,
+                level=comparison.ci_level,
+                method=comparison.method,
+            )
+            if not summary.meets(target, relative):
+                return False
+        return True
+    for name in samples[0]:
+        summary = point_summary(
+            [sample[name] for sample in samples],
+            level=rep.ci_level,
+            method=rep.method,
+        )
+        if not summary.meets(rep.target_halfwidth, rep.relative):
+            return False
+    return True
 
 
 def compute_comparisons(

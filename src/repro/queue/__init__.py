@@ -1,0 +1,69 @@
+"""Dynamic work-queue execution: broker, workers and the results service.
+
+PRs 1–5 built every scale-out ingredient — pluggable
+:class:`~repro.api.execution.ExecutionBackend`\\ s, a shared per-point
+:class:`~repro.api.cache.ResultCache`, static ``--shard I/N`` fan-out and
+adaptive top-ups — but shard assignment stayed static: N processes each own
+a fixed residue class of sweep points, and a dead process strands its
+points until a human reruns its shard. This package replaces static
+assignment with *dynamic* work distribution:
+
+* :mod:`repro.queue.broker` — :class:`~repro.queue.broker.Broker`, an
+  SQLite-backed task queue in a single file (WAL mode, no server process).
+  A :class:`~repro.api.specs.SweepSpec` decomposes into one *point* task
+  per sweep point plus per-point adaptive *top-up* tasks; workers lease
+  tasks with a TTL and heartbeat, and expired leases are re-served to the
+  next worker, so a killed worker loses nothing but its in-flight task.
+* :mod:`repro.queue.worker` — the worker loop behind ``repro-experiments
+  worker --queue PATH``: lease, execute via the existing spec machinery,
+  commit replicate samples straight into the shared per-point cache, and
+  assemble the final :class:`~repro.experiments.runner.FigureResult` from
+  the warm cache the moment the last task lands. Assembly reuses
+  :func:`~repro.api.experiment.run_sweep` over the warm cache, so a
+  queue-assembled figure is bit-identical to the serial run by
+  construction — the very property the sharded path already pinned.
+* :mod:`repro.queue.service` — a thin stdlib ``http.server`` results
+  service (``repro-experiments serve``): POST a sweep spec, get the cached
+  figure instantly when warm; cold specs are queued for the workers and a
+  job-status endpoint polls to completion.
+
+Determinism is inherited, not re-proven: tasks carry only *positions*
+(sweep point indices and replicate offsets), every replicate's seed is a
+pure function of its position (see
+:func:`~repro.experiments.runner.spawn_tasks` /
+:func:`~repro.experiments.runner.spawn_point_extension_tasks`), and samples
+flow through the same cache entries a serial or sharded run would write.
+Executing a task twice — a re-served lease racing its presumed-dead
+original owner — just rewrites identical bytes (last-writer-wins atomic
+renames).
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    "Broker": "repro.queue.broker",
+    "Lease": "repro.queue.broker",
+    "Heartbeat": "repro.queue.broker",
+    "enqueue_sweep": "repro.queue.worker",
+    "execute_lease": "repro.queue.worker",
+    "try_finalize": "repro.queue.worker",
+    "worker_loop": "repro.queue.worker",
+    "ResultsServer": "repro.queue.service",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.queue' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -296,6 +296,66 @@ class TestMaintenance:
         with pytest.raises(ValueError):
             cache.prune(max_age=-2.0)
 
+    def tear(self, cache):
+        """Truncate one entry mid-JSON, as a crashed non-atomic copy would."""
+        path = next(iter(cache.entries()))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        return path
+
+    def test_stats_count_torn_entries_as_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.fill(cache, 3)
+        self.tear(cache)
+        stats = cache.stats()  # must not raise on the partial entry
+        assert stats["entries"] == 3
+        assert stats["kinds"] == {"corrupt": 1, "point": 2}
+
+    def test_prune_drops_torn_entries_without_raising(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        self.fill(cache, 3)
+        torn = self.tear(cache)
+        stale = 1_700_000_000
+        os.utime(torn, (stale, stale))  # oldest entry -> first to go
+        assert cache.prune(max_entries=2) == 1
+        assert not torn.exists()
+        assert cache.stats()["kinds"] == {"point": 2}
+
+    def test_stats_skip_tmp_and_foreign_files(self, tmp_path):
+        # in-flight atomic writes (*.tmp) and stray files/dirs in a shared
+        # directory are not entries and must not be counted or touched
+        cache = ResultCache(tmp_path)
+        self.fill(cache, 2)
+        bucket = next(iter(cache.entries())).parent
+        (bucket / "entry.json.tmp").write_text("{par")
+        (tmp_path / "README").write_text("not a bucket")
+        (tmp_path / "not-a-bucket").mkdir()
+        (tmp_path / "not-a-bucket" / "stray.json").write_text("{}")
+        assert cache.stats()["entries"] == 2
+        assert cache.clear() == 2
+        assert (bucket / "entry.json.tmp").exists()
+
+    def test_stats_on_missing_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.stats()["entries"] == 0
+        assert cache.prune(max_entries=0) == 0
+
+    def test_entries_survive_root_vanishing_mid_iteration(self, tmp_path):
+        # a concurrent `cache clear` can delete buckets between listing
+        # and descent; iteration must end cleanly, not raise
+        import shutil
+
+        cache = ResultCache(tmp_path)
+        self.fill(cache, 6)
+        iterator = cache.entries()
+        first = next(iterator)
+        assert first.exists()
+        shutil.rmtree(tmp_path)
+        assert list(iterator) == []  # remaining buckets skipped, no error
+        assert cache.stats()["entries"] == 0
+
 
 class TestFigureCacheThreading:
     def test_figure_function_accepts_cache(self, tmp_path):
