@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Throughput/memory harness for streaming traces.
+
+Runs the same (substrate, scenario, policy) simulation four ways — via a
+lazy :class:`StreamingTrace` and via the fully materialised ``Trace`` at
+horizons of 10^5 and 10^6 rounds — each in its own subprocess so
+``ru_maxrss`` measures that configuration alone. Records rounds/sec and
+peak RSS for each, and enforces the subsystem's core guarantee as a CI
+gate on the *marginal* memory of an extra round: a streaming run keeps
+only the result ledger (10 typed columns, 80 bytes/round), so its RSS
+slope across the 10x horizon jump must stay under ``MAX_STREAMING_BPR``
+bytes/round, while the materialised run additionally holds every request
+array (one numpy object + data per round) and is expected to sit well
+above it. A second gate pins bit-identity at scale: both modes must
+report the same total cost at every horizon.
+
+The measured policy is ONBR: its best-response epochs close on a cost
+threshold, so its internal request window is bounded and the trace layer
+dominates the memory profile. (ONTH would not qualify — by §III-A its
+large-epoch window spans everything since the last server addition, which
+under converged demand is the remainder of the run.)
+
+Usage::
+
+    python benchmarks/bench_traces.py [OUTPUT.json]
+
+Writes ``BENCH_traces.json`` (or OUTPUT) and exits non-zero if the
+streaming memory gate or the cost-identity gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+HORIZONS = (100_000, 1_000_000)
+MODES = ("streaming", "materialized")
+
+#: Ceiling on the streaming RSS slope between the two horizons. The
+#: ledger accounts for 80 bytes/round; the rest is slack for allocator
+#: noise. A retained trace would add ~200+ bytes/round and blow through.
+MAX_STREAMING_BPR = 192
+
+
+def child(mode: str, horizon: int) -> int:
+    """One measured configuration; prints a JSON record to stdout."""
+    import resource
+
+    import numpy as np
+
+    from repro import OnBR, simulate
+    from repro.topology.generators import line
+    from repro.traces.arrivals import GammaArrivalScenario
+    from repro.traces.streaming import StreamingTrace
+
+    substrate = line(5, seed=0)
+    scenario = GammaArrivalScenario(substrate, rate=2.0, cv=1.0, burst_length=10)
+
+    started = time.perf_counter()
+    if mode == "streaming":
+        trace = StreamingTrace(scenario, horizon, seed=7)
+    else:
+        trace = scenario.generate(horizon, np.random.default_rng(7))
+    result = simulate(substrate, OnBR(), trace, seed=0)
+    elapsed = time.perf_counter() - started
+
+    print(json.dumps({
+        "mode": mode,
+        "horizon": horizon,
+        "elapsed_seconds": round(elapsed, 3),
+        "rounds_per_second": round(horizon / elapsed),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "total_cost": result.total_cost,
+    }))
+    return 0
+
+
+def measure(mode: str, horizon: int) -> dict:
+    out = subprocess.run(
+        [sys.executable, __file__, "--child", mode, str(horizon)],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    return json.loads(out)
+
+
+def marginal_bytes_per_round(by_key: dict, mode: str) -> float:
+    small = by_key[f"{mode}@{HORIZONS[0]}"]["peak_rss_kb"]
+    large = by_key[f"{mode}@{HORIZONS[-1]}"]["peak_rss_kb"]
+    return (large - small) * 1024 / (HORIZONS[-1] - HORIZONS[0])
+
+
+def run() -> dict:
+    records = [measure(mode, h) for h in HORIZONS for mode in MODES]
+    by_key = {f"{r['mode']}@{r['horizon']}": r for r in records}
+
+    streaming_bpr = marginal_bytes_per_round(by_key, "streaming")
+    materialized_bpr = marginal_bytes_per_round(by_key, "materialized")
+    costs_identical = all(
+        by_key[f"streaming@{h}"]["total_cost"]
+        == by_key[f"materialized@{h}"]["total_cost"]
+        for h in HORIZONS
+    )
+    return {
+        "scenario": "gamma arrivals on line:n=5 under ONBR",
+        "horizons": list(HORIZONS),
+        "runs": by_key,
+        "streaming_marginal_bytes_per_round": round(streaming_bpr, 1),
+        "materialized_marginal_bytes_per_round": round(materialized_bpr, 1),
+        "max_streaming_bytes_per_round": MAX_STREAMING_BPR,
+        "streaming_memory_flat": streaming_bpr <= MAX_STREAMING_BPR,
+        "costs_identical": costs_identical,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["--child"]:
+        return child(argv[1], int(argv[2]))
+    output = argv[0] if argv else "BENCH_traces.json"
+    payload = run()
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    rates = {key: r["rounds_per_second"] for key, r in payload["runs"].items()}
+    print(
+        ", ".join(f"{key}: {rate} rounds/s" for key, rate in rates.items())
+        + f"; marginal B/round streaming "
+        + f"{payload['streaming_marginal_bytes_per_round']} vs materialised "
+        + f"{payload['materialized_marginal_bytes_per_round']} -> {output}"
+    )
+    if not payload["streaming_memory_flat"]:
+        print(
+            "FAIL: streaming RSS slope "
+            f"{payload['streaming_marginal_bytes_per_round']} B/round exceeds "
+            f"{MAX_STREAMING_BPR} (not O(round) memory)", file=sys.stderr,
+        )
+        return 1
+    if not payload["costs_identical"]:
+        print("FAIL: streaming and materialised runs disagree on total "
+              "cost", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,16 +103,27 @@ from repro.topology import (
     ring,
     star,
 )
+from repro.traces import (
+    DiurnalWavesScenario,
+    FlashCrowdScenario,
+    GammaArrivalScenario,
+    StreamingScenario,
+    StreamingTrace,
+    TraceReplayScenario,
+)
 from repro.workload import (
     CommuterScenario,
     MobilityScenario,
     OverlayScenario,
     PhasedScenario,
     RequestGenerator,
+    RoundIterable,
     TimeZoneScenario,
     Trace,
+    as_trace,
     default_period_for,
     generate_trace,
+    stream_rounds,
 )
 
 __version__ = "1.0.0"
@@ -196,11 +207,21 @@ __all__ = [
     # workloads
     "Trace",
     "RequestGenerator",
+    "RoundIterable",
+    "as_trace",
     "generate_trace",
+    "stream_rounds",
     "CommuterScenario",
     "TimeZoneScenario",
     "MobilityScenario",
     "OverlayScenario",
     "PhasedScenario",
     "default_period_for",
+    # production workloads (repro.traces)
+    "StreamingTrace",
+    "StreamingScenario",
+    "TraceReplayScenario",
+    "GammaArrivalScenario",
+    "FlashCrowdScenario",
+    "DiurnalWavesScenario",
 ]

@@ -308,8 +308,11 @@ class Opt(OfflinePolicy):
 
         Equivalent to running the policy through the simulator (the DP value
         equals the simulated ledger total — tested), but without building
-        the ledger.
+        the ledger. Streaming input is materialised first — the DP needs the
+        full sequence, the cost ``requires_full_trace`` declares.
         """
+        from repro.workload.base import as_trace
+
         costs = costs if costs is not None else CostModel.paper_default()
         policy = cls(
             max_servers=max_servers,
@@ -318,7 +321,7 @@ class Opt(OfflinePolicy):
             allow_inactive=allow_inactive,
             require_active=require_active,
         )
-        policy.prepare(trace)
+        policy.prepare(as_trace(trace))
         start = substrate.center if start_node is None else int(start_node)
         policy._solve(substrate, costs, start)
         return policy.optimal_cost, policy.plan

@@ -84,7 +84,7 @@ if TYPE_CHECKING:
     from repro.api.specs import ExperimentSpec, SweepSpec
     from repro.experiments.runner import FigureResult
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "scenario_content_fingerprint"]
 
 #: Bump to invalidate every existing cache entry on a storage-format change.
 CACHE_SCHEMA = 1
@@ -116,6 +116,40 @@ def _code_fingerprint() -> str:
             digest.update(b"\0")
         _FINGERPRINT = digest.hexdigest()
     return _FINGERPRINT
+
+
+def scenario_content_fingerprint(kind: str, params: "Mapping | None") -> object:
+    """The content identity of a scenario's external inputs, or ``None``.
+
+    Spec dicts identify a scenario by name and parameters — enough for the
+    synthetic generators, but a file-backed scenario (``replay``) also
+    depends on the *content* of the file its ``path`` parameter points to.
+    Factories declare that dependency by exposing a ``content_fingerprint``
+    attribute: a callable taking the params mapping and returning a
+    JSON-safe value (digest, size, …) or ``None`` when the parameters pull
+    in no external content. Wrapper scenarios (``overlay``, ``streaming``)
+    delegate to their parts, so a replay nested anywhere in a composition
+    still invalidates on file edits.
+
+    Unknown scenario names return ``None`` — the spec will fail loudly at
+    build time; key computation should not be the place that errors.
+    """
+    from repro.api.registry import SCENARIOS, UnknownNameError
+
+    try:
+        factory = SCENARIOS.resolve(kind)
+    except UnknownNameError:
+        return None
+    fingerprint = getattr(factory, "content_fingerprint", None)
+    if fingerprint is None:
+        return None
+    return fingerprint(dict(params or {}))
+
+
+def _experiment_content(experiment: "ExperimentSpec") -> object:
+    """Content extras of one experiment's scenario (``None`` when absent)."""
+    scenario = experiment.scenario
+    return scenario_content_fingerprint(scenario.kind, scenario.params)
 
 
 class ResultCache:
@@ -171,9 +205,25 @@ class ResultCache:
 
         Includes the package version and a source fingerprint so code
         upgrades *and* in-place edits invalidate rather than replay stale
-        results.
+        results. File-backed scenarios additionally contribute a content
+        digest of their input files (collected across every sweep point),
+        so editing a replayed log invalidates the entry; specs without
+        external content keep their historical keys unchanged.
         """
-        return self._digest(self._identity(sweep=spec.to_dict()))
+        payload = {"sweep": spec.to_dict()}
+        content = []
+        if spec.values:
+            for x in spec.values:
+                entry = _experiment_content(spec.experiment_at(x))
+                if entry is not None and entry not in content:
+                    content.append(entry)
+        else:
+            entry = _experiment_content(spec.experiment)
+            if entry is not None:
+                content.append(entry)
+        if content:
+            payload["content"] = content
+        return self._digest(self._identity(**payload))
 
     def key_for_point(
         self,
@@ -190,17 +240,20 @@ class ResultCache:
         replicates consumed. Together those determine the samples bit for
         bit, so any sweep whose point lands on the same coordinates — a
         rerun, another shard, or a grid extended at the tail — shares the
-        entry.
+        entry. File-backed scenarios fold their input files' content
+        digest into the key (see :func:`scenario_content_fingerprint`).
         """
-        return self._digest(
-            self._identity(
-                kind="point",
-                experiment=experiment.cache_key(),
-                sweep_seed=int(sweep_seed),
-                spawn_start=int(spawn_start),
-                runs=int(runs),
-            )
-        )
+        payload = {
+            "kind": "point",
+            "experiment": experiment.cache_key(),
+            "sweep_seed": int(sweep_seed),
+            "spawn_start": int(spawn_start),
+            "runs": int(runs),
+        }
+        content = _experiment_content(experiment)
+        if content is not None:
+            payload["content"] = content
+        return self._digest(self._identity(**payload))
 
     def key_for_point_extension(
         self,
@@ -218,16 +271,18 @@ class ResultCache:
         they determine the samples bit for bit (see
         :func:`~repro.experiments.runner.spawn_point_extension_tasks`).
         """
-        return self._digest(
-            self._identity(
-                kind="point-extension",
-                experiment=experiment.cache_key(),
-                sweep_seed=int(sweep_seed),
-                point_index=int(point_index),
-                start=int(start),
-                runs=int(runs),
-            )
-        )
+        payload = {
+            "kind": "point-extension",
+            "experiment": experiment.cache_key(),
+            "sweep_seed": int(sweep_seed),
+            "point_index": int(point_index),
+            "start": int(start),
+            "runs": int(runs),
+        }
+        content = _experiment_content(experiment)
+        if content is not None:
+            payload["content"] = content
+        return self._digest(self._identity(**payload))
 
     def path_for_key(self, key: str) -> Path:
         """Where the entry with ``key`` lives (whether or not it exists)."""

@@ -228,7 +228,7 @@ class FigureEntry(NamedTuple):
 
 
 POLICIES = Registry("policy", builtin_modules=("repro.algorithms",))
-SCENARIOS = Registry("scenario", builtin_modules=("repro.workload",))
+SCENARIOS = Registry("scenario", builtin_modules=("repro.workload", "repro.traces"))
 TOPOLOGIES = Registry("topology", builtin_modules=("repro.topology",))
 FIGURES = Registry(
     "figure",

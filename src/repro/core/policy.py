@@ -33,6 +33,14 @@ __all__ = ["AllocationPolicy", "OfflinePolicy"]
 class AllocationPolicy(ABC):
     """Base class for server allocation strategies."""
 
+    #: Whether the policy must see the complete trace before the run. Online
+    #: policies leave this ``False`` and the simulator feeds them rounds from
+    #: any round-iterable — including lazily generated
+    #: :class:`~repro.traces.streaming.StreamingTrace` streams — in O(round)
+    #: memory. :class:`OfflinePolicy` overrides it to ``True``, making the
+    #: simulator materialise streaming input before :meth:`~OfflinePolicy.prepare`.
+    requires_full_trace: bool = False
+
     @property
     def name(self) -> str:
         """Display name used in ledgers and reports."""
@@ -77,6 +85,16 @@ class AllocationPolicy(ABC):
 class OfflinePolicy(AllocationPolicy):
     """A policy that sees the full request sequence before the run."""
 
+    requires_full_trace: bool = True
+
     @abstractmethod
     def prepare(self, trace: Trace) -> None:
-        """Receive the complete trace ahead of time (called before reset)."""
+        """Receive the complete trace ahead of time (called before reset).
+
+        Declaring ``requires_full_trace`` means ``trace`` is always a fully
+        materialised :class:`~repro.workload.base.Trace`: the simulator (and
+        ``Opt.solve``) run streaming input through
+        :func:`~repro.workload.base.as_trace` first, which is exactly the
+        O(trace)-memory cost an offline policy's lookahead implies.
+        Implementations may therefore index and re-iterate ``trace`` freely.
+        """

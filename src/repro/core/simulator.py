@@ -29,7 +29,7 @@ from repro.core.results import RoundRecord, RunLedger, RunResult
 from repro.core.routing import RoutingStrategy, route_requests
 from repro.core.transitions import price_transition
 from repro.topology.substrate import Substrate
-from repro.workload.base import Trace
+from repro.workload.base import RoundIterable, as_trace
 from repro.util.rng import ensure_rng
 
 __all__ = ["simulate"]
@@ -38,7 +38,7 @@ __all__ = ["simulate"]
 def simulate(
     substrate: Substrate,
     policy: AllocationPolicy,
-    trace: Trace,
+    trace: RoundIterable,
     costs: "CostModel | None" = None,
     routing: RoutingStrategy = RoutingStrategy.NEAREST,
     seed: "int | np.random.Generator | None" = None,
@@ -50,7 +50,13 @@ def simulate(
         substrate: the substrate network.
         policy: the allocation strategy; offline policies are handed the
             trace via ``prepare`` before the run starts.
-        trace: the request sequence (one node-index array per round).
+        trace: the request sequence (one node-index array per round) — a
+            materialised :class:`~repro.workload.base.Trace` or any
+            round-iterable such as a lazily generated
+            :class:`~repro.traces.streaming.StreamingTrace`. Streaming input
+            is materialised only when the policy declares
+            ``requires_full_trace`` (offline lookahead); online policies run
+            in O(round) memory.
         costs: cost model; defaults to the paper's β=40, c=400 model.
         routing: request-to-server assignment strategy.
         seed: randomness for the policy (e.g. ONCONF's random switch).
@@ -68,9 +74,15 @@ def simulate(
     costs = costs if costs is not None else CostModel.paper_default()
     rng = ensure_rng(seed)
 
-    if trace.max_node >= substrate.n:
+    if getattr(policy, "requires_full_trace", False) or isinstance(policy, OfflinePolicy):
+        trace = as_trace(trace)
+
+    # A materialised Trace knows its maximum node up front; a streaming
+    # trace does not, so the bound check moves into the round loop.
+    max_node = getattr(trace, "max_node", None)
+    if max_node is not None and max_node >= substrate.n:
         raise ValueError(
-            f"trace references node {trace.max_node} but substrate has "
+            f"trace references node {max_node} but substrate has "
             f"{substrate.n} nodes"
         )
     if costs.migration_matrix is not None and costs.migration_matrix.shape[0] != substrate.n:
@@ -86,6 +98,11 @@ def simulate(
 
     ledger = RunLedger()
     for t, requests in enumerate(trace):
+        if max_node is None and requests.size and int(requests.max()) >= substrate.n:
+            raise ValueError(
+                f"round {t} references node {int(requests.max())} but "
+                f"substrate has {substrate.n} nodes"
+            )
         routed = route_requests(
             substrate, np.asarray(config.active, dtype=np.int64), requests,
             costs, routing,
@@ -111,7 +128,7 @@ def simulate(
             )
         )
 
-    return ledger.finish(policy.name, trace.scenario_name)
+    return ledger.finish(policy.name, getattr(trace, "scenario_name", ""))
 
 
 def _check_config(

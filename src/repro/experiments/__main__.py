@@ -33,6 +33,16 @@ Two modes:
           --max-entries 5000 --max-age 604800
       python -m repro.experiments cache clear --cache-dir ~/.cache/repro
 
+* **trace tooling** — validate, summarise or convert external request logs
+  for the ``replay`` scenario::
+
+      python -m repro.experiments trace validate requests.csv
+      python -m repro.experiments trace stats requests.jsonl --json
+      python -m repro.experiments trace convert requests.csv \\
+          --out requests.npz --nodes 50 --mapping hash
+      python -m repro.experiments run --policy onth --topology line:n=5 \\
+          --scenario replay:path=requests.csv
+
 Quick scale shrinks network sizes, horizons and run counts to keep any
 single figure under roughly a minute while preserving its qualitative
 shape; ``--paper`` uses the caption parameters registered next to each
@@ -653,6 +663,7 @@ _SUBCOMMANDS = {
     "run": lambda argv: run_command(argv),
     "list": lambda argv: list_command(argv),
     "cache": lambda argv: cache_command(argv),
+    "trace": lambda argv: trace_command(argv),
     "enqueue": lambda argv: enqueue_command(argv),
     "worker": lambda argv: worker_command(argv),
     "serve": lambda argv: serve_command(argv),
@@ -1084,6 +1095,185 @@ def cache_command(argv: "list[str]") -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         payload = {"root": str(cache.root), "removed": removed}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# The trace subcommand: validate / stats / convert request logs
+# ---------------------------------------------------------------------------
+
+
+class _DenseMapper:
+    """First-appearance dense indices — inspection without a substrate."""
+
+    name = "dense"
+
+    def __init__(self) -> None:
+        self.assigned: "dict[object, int]" = {}
+
+    def __call__(self, key) -> int:
+        node = self.assigned.get(key)
+        if node is None:
+            node = len(self.assigned)
+            self.assigned[key] = node
+        return node
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace",
+        description=(
+            "Validate, summarise or convert an external request log "
+            "(CSV/JSONL/saved .npz trace) for replay through the 'replay' "
+            "scenario: repro-experiments run --scenario "
+            "replay:path=requests.csv ..."
+        ),
+    )
+    parser.add_argument(
+        "action", choices=("validate", "stats", "convert"),
+        help=(
+            "validate: parse the whole log and report problems; stats: "
+            "per-round and per-node summaries; convert: write a mapped "
+            ".npz trace ready for replay:path=OUT,mapping=none"
+        ),
+    )
+    parser.add_argument("log", metavar="LOG", help="the request log file")
+    parser.add_argument(
+        "--out", metavar="OUT", default=None,
+        help="convert: the output .npz path (required)",
+    )
+    parser.add_argument(
+        "--format", choices=("csv", "jsonl", "npz"), default=None,
+        help="log format (default: inferred from the suffix)",
+    )
+    parser.add_argument(
+        "--node-field", default="node", metavar="NAME",
+        help="CSV column / JSONL field holding the source key (default: node)",
+    )
+    parser.add_argument(
+        "--round-field", default="round", metavar="NAME",
+        help=(
+            "CSV column / JSONL field holding the round index or timestamp "
+            "(default: round)"
+        ),
+    )
+    parser.add_argument(
+        "--round-duration", type=float, default=None, metavar="SECONDS",
+        help="treat round values as timestamps, one round per SECONDS",
+    )
+    parser.add_argument(
+        "--requests-per-round", type=_positive_int, default=None, metavar="N",
+        help="ignore round values and batch the log into N-request rounds",
+    )
+    parser.add_argument(
+        "--mapping", choices=("hash", "round_robin", "table", "none"),
+        default=None,
+        help=(
+            "convert: node-mapping strategy onto --nodes (default: none "
+            "for .npz, hash otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--nodes", type=_positive_int, default=None, metavar="N",
+        help="convert: map source keys onto nodes 0..N-1",
+    )
+    parser.add_argument(
+        "--sort", action="store_true",
+        help="convert: sort records by round index first (materialises the log)",
+    )
+    parser.add_argument(
+        "--limit", type=_positive_int, default=None, metavar="N",
+        help="use at most the first N rounds",
+    )
+    parser.add_argument(
+        "--top", type=_positive_int, default=5, metavar="N",
+        help="stats: how many busiest nodes to report (default 5)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the outcome as machine-readable JSON",
+    )
+    return parser
+
+
+def _trace_rounds(args, mapper, sort: bool = False):
+    from repro.traces.replay import iter_records, rounds_from_records
+
+    records = iter_records(
+        args.log, args.format, args.node_field, args.round_field
+    )
+    return rounds_from_records(
+        records,
+        mapper,
+        round_duration=args.round_duration,
+        requests_per_round=args.requests_per_round,
+        sort=sort,
+        limit=args.limit,
+        where=args.log,
+    )
+
+
+def trace_command(argv: "list[str]") -> int:
+    """Entry point of ``python -m repro.experiments trace ...``."""
+    from repro.traces.replay import file_digest, make_mapper, replay_stats
+    from repro.workload.base import Trace
+
+    args = build_trace_parser().parse_args(argv)
+
+    try:
+        if args.action == "convert":
+            if args.out is None:
+                print("error: convert needs --out OUT.npz", file=sys.stderr)
+                return 2
+            mapping = args.mapping
+            if mapping is None:
+                from repro.traces.replay import infer_format
+
+                fmt = args.format or infer_format(args.log)
+                mapping = "none" if fmt == "npz" else "hash"
+            if mapping != "none" and args.nodes is None:
+                print(
+                    f"error: mapping {mapping!r} needs --nodes N to map onto",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.nodes is not None:
+                mapper = make_mapper(mapping, np.arange(args.nodes), n_nodes=args.nodes)
+            else:
+                mapper = int  # mapping == "none": keys already node indices
+            rounds = tuple(_trace_rounds(args, mapper, sort=args.sort))
+            trace = Trace(
+                rounds,
+                scenario_name=f"replay({args.log})",
+                metadata={
+                    "scenario": "replay",
+                    "converted_from": file_digest(args.log),
+                    "mapping": mapping,
+                },
+            )
+            written = trace.save(args.out)
+            payload = {
+                "ok": True,
+                "out": str(written),
+                **replay_stats(rounds, top=args.top),
+            }
+        else:
+            rounds = _trace_rounds(args, _DenseMapper())
+            payload = {"ok": True, "log": args.log, **replay_stats(rounds, top=args.top)}
+            if args.action == "validate":
+                payload.pop("busiest_nodes")
+    except (ValueError, OSError) as error:
+        if args.json:
+            print(json.dumps({"ok": False, "error": str(error)}, indent=2))
+        else:
+            print(f"error: {error}", file=sys.stderr)
+        return 2
+
     if args.json:
         print(json.dumps(payload, indent=2))
     else:

@@ -1,0 +1,43 @@
+"""Production workloads: trace replay, bursty arrivals, streaming traces.
+
+This package opens the scenario space beyond the paper's synthetic
+generators in three directions, all through the same registry and spec
+machinery as the built-in workloads:
+
+* :mod:`repro.traces.replay` — replay external request logs (CSV / JSONL /
+  saved ``.npz``) through deterministic node mapping (``"replay"``);
+* :mod:`repro.traces.arrivals` — bursty arrival processes: gamma-modulated
+  Poisson (``"gamma"``), flash-crowd cascades (``"flashcrowd"``) and
+  correlated diurnal waves (``"diurnal"``);
+* :mod:`repro.traces.streaming` — lazily generated traces with O(round)
+  memory (``"streaming"``), enabling million-round horizons.
+"""
+
+from repro.traces.arrivals import (
+    DiurnalWavesScenario,
+    FlashCrowdScenario,
+    GammaArrivalScenario,
+)
+from repro.traces.replay import (
+    TraceReplayScenario,
+    file_digest,
+    iter_records,
+    make_mapper,
+    replay_stats,
+    rounds_from_records,
+)
+from repro.traces.streaming import StreamingScenario, StreamingTrace
+
+__all__ = [
+    "DiurnalWavesScenario",
+    "FlashCrowdScenario",
+    "GammaArrivalScenario",
+    "StreamingScenario",
+    "StreamingTrace",
+    "TraceReplayScenario",
+    "file_digest",
+    "iter_records",
+    "make_mapper",
+    "replay_stats",
+    "rounds_from_records",
+]

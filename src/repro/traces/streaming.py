@@ -1,0 +1,226 @@
+"""Streaming traces: million-round horizons in O(round) memory.
+
+A materialised :class:`~repro.workload.base.Trace` holds every round in
+memory, which caps the horizon × substrate size an experiment can afford.
+:class:`StreamingTrace` satisfies the same round-iteration protocol the
+simulator consumes (``__len__`` + ``__iter__`` + ``scenario_name``) but
+produces each round lazily from a stored ``(generator, seed)`` pair:
+
+* every ``iter()`` replays the generator from a *fresh* RNG seeded with the
+  stored seed, so the object is re-iterable and deterministic — all policies
+  of a replicate see identical rounds;
+* scenarios that implement the optional ``stream(horizon, rng)`` method
+  (all built-ins do) generate one round at a time; scenarios without it fall
+  back to materialising inside the iteration, keeping correctness at the
+  cost of the memory guarantee;
+* online policies consume the stream directly; offline policies declare
+  ``requires_full_trace`` and the simulator materialises for them (see
+  :class:`~repro.core.policy.OfflinePolicy`).
+
+:class:`StreamingScenario` lifts any registered scenario into the spec
+layer (registered as ``"streaming"``): its ``generate`` draws one seed from
+the shared replicate stream and returns a :class:`StreamingTrace` (or its
+materialisation with ``materialize=True``). Because both variants consume
+exactly one draw, a streaming run's ledgers are bit-identical to its
+materialised twin — across serial, process-pool and queue backends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.api.registry import register_scenario, resolve_scenario
+from repro.workload.base import RequestGenerator, Trace, stream_rounds
+
+__all__ = ["StreamingTrace", "StreamingScenario"]
+
+
+class StreamingTrace:
+    """A lazily generated, re-iterable request sequence.
+
+    Args:
+        generator: the scenario producing the rounds; its optional
+            ``stream`` method is used when present (O(round) memory),
+            ``generate`` otherwise (materialising fallback).
+        horizon: number of rounds.
+        seed: integer seed replayed on every iteration; ``None`` draws one
+            from OS entropy *once* so all iterations still agree. A
+            stateful ``np.random.Generator`` is rejected — replaying it
+            twice would yield different rounds.
+        scenario_name: ledger label; defaults to the generator's.
+        metadata: provenance mapping; defaults to a small streaming record.
+    """
+
+    def __init__(
+        self,
+        generator: RequestGenerator,
+        horizon: int,
+        seed: "int | None" = None,
+        scenario_name: "str | None" = None,
+        metadata: "Mapping | None" = None,
+    ) -> None:
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        if isinstance(seed, np.random.Generator):
+            raise TypeError(
+                "StreamingTrace needs a replayable seed (int or None), not a "
+                "stateful Generator: every iteration restarts from the seed"
+            )
+        if seed is None:
+            seed = int(np.random.SeedSequence().generate_state(1)[0])
+        self.generator = generator
+        self.horizon = int(horizon)
+        self.seed = int(seed)
+        self.scenario_name = (
+            scenario_name
+            if scenario_name is not None
+            else getattr(generator, "scenario_name", type(generator).__name__)
+        )
+        self.metadata = (
+            dict(metadata)
+            if metadata is not None
+            else {
+                "scenario": "streaming",
+                "inner": self.scenario_name,
+                "seed": self.seed,
+                "horizon": self.horizon,
+            }
+        )
+
+    def __len__(self) -> int:
+        return self.horizon
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        count = 0
+        for arr in stream_rounds(self.generator, self.horizon, rng):
+            arr = np.asarray(arr, dtype=np.int64)
+            if arr.ndim != 1:
+                raise ValueError(
+                    f"round {count} must be a 1-D array, got shape {arr.shape}"
+                )
+            if arr.size and arr.min() < 0:
+                raise ValueError(f"round {count} contains negative node indices")
+            yield arr
+            count += 1
+        if count != self.horizon:
+            raise RuntimeError(
+                f"{type(self.generator).__name__} streamed {count} rounds, "
+                f"expected {self.horizon}"
+            )
+
+    @property
+    def total_requests(self) -> int:
+        """Request count over the whole stream (one O(round)-memory pass)."""
+        return int(sum(arr.size for arr in self))
+
+    def materialize(self) -> Trace:
+        """The equivalent :class:`Trace` — the O(trace)-memory step.
+
+        Offline policies need the full sequence ahead of time; the
+        simulator calls this exactly when a policy declares
+        ``requires_full_trace``.
+        """
+        return Trace(
+            tuple(self),
+            scenario_name=self.scenario_name,
+            metadata=dict(self.metadata),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingTrace({self.scenario_name!r}, horizon={self.horizon}, "
+            f"seed={self.seed})"
+        )
+
+
+class StreamingScenario:
+    """A scenario wrapper whose traces stream instead of materialising.
+
+    ``generate`` consumes exactly one integer draw from the replicate's
+    shared RNG stream — the :class:`StreamingTrace` seed — whether or not
+    ``materialize`` is set. That makes a streaming run and its materialised
+    twin (``materialize=True``) bit-identical end to end: same trace seed,
+    same downstream policy draws, same ledgers.
+
+    Note the deliberate protocol widening: with ``materialize=False`` (the
+    default), ``generate`` returns a :class:`StreamingTrace`, not a
+    :class:`Trace`. Everything downstream — ``generate_trace``'s length
+    check, the simulator, the metric pipeline — consumes the round-iteration
+    protocol only, so the lazy object drops in transparently.
+    """
+
+    def __init__(self, inner: RequestGenerator, materialize: bool = False) -> None:
+        self.inner = inner
+        self.materialize = bool(materialize)
+        inner_name = getattr(inner, "scenario_name", type(inner).__name__)
+        self.scenario_name = f"streaming({inner_name})"
+
+    def generate(self, horizon: int, rng: np.random.Generator):
+        """A :class:`StreamingTrace` (or its materialisation) for ``horizon``."""
+        seed = int(rng.integers(0, np.iinfo(np.int64).max))
+        trace = StreamingTrace(
+            self.inner, horizon, seed, scenario_name=self.scenario_name
+        )
+        return trace.materialize() if self.materialize else trace
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingScenario({self.inner!r}, materialize={self.materialize})"
+        )
+
+
+@register_scenario("streaming")
+def streaming(substrate, scenario: str = "commuter", params=None,
+              materialize: bool = False, **inner_params):
+    """Registry factory: stream any registered scenario.
+
+    ``scenario`` names the wrapped scenario; its parameters go in
+    ``params`` (a mapping, JSON-safe for specs) or directly as extra
+    keyword arguments (convenient from the CLI:
+    ``--scenario streaming:scenario=commuter,sojourn=5``).
+    ``materialize=True`` generates the identical trace eagerly — the knob
+    the bit-identity tests and benchmarks flip.
+
+    Dotted ``params.X`` keyword arguments override individual entries of
+    ``params``; that is what a sweep over ``scenario.params.sojourn``
+    substitutes, so the wrapped scenario's knobs stay sweepable through
+    the wrapper.
+    """
+    overrides = {
+        key[len("params."):]: inner_params.pop(key)
+        for key in list(inner_params)
+        if key.startswith("params.")
+    }
+    if params and inner_params:
+        raise ValueError(
+            "pass the wrapped scenario's parameters either via params= or "
+            "inline, not both"
+        )
+    inner_kwargs = dict(params or inner_params or {})
+    inner_kwargs.update(overrides)
+    inner = resolve_scenario(scenario)(substrate, **inner_kwargs)
+    return StreamingScenario(inner, materialize=materialize)
+
+
+def _streaming_fingerprint(params) -> "dict | list | None":
+    """Delegate content identity to the wrapped scenario (replay files)."""
+    from repro.api.cache import scenario_content_fingerprint
+
+    inner_kind = params.get("scenario", "commuter")
+    base = dict(params.get("params") or {})
+    inline = {
+        k: v for k, v in params.items()
+        if k not in ("scenario", "params", "materialize")
+        and not k.startswith("params.")
+    }
+    inner_params = base or inline
+    inner_params.update(
+        {k[len("params."):]: v for k, v in params.items() if k.startswith("params.")}
+    )
+    return scenario_content_fingerprint(inner_kind, inner_params)
+
+
+streaming.content_fingerprint = _streaming_fingerprint

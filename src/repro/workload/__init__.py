@@ -6,7 +6,14 @@ Both are implemented here as deterministic trace generators, plus the
 §II-D on/off mobility model as an extension.
 """
 
-from repro.workload.base import RequestGenerator, Trace, generate_trace
+from repro.workload.base import (
+    RequestGenerator,
+    RoundIterable,
+    Trace,
+    as_trace,
+    generate_trace,
+    stream_rounds,
+)
 from repro.workload.commuter import CommuterScenario, default_period_for
 from repro.workload.composite import OverlayScenario, PhasedScenario
 from repro.workload.mobility import MobilityScenario
@@ -15,7 +22,10 @@ from repro.workload.timezones import TimeZoneScenario
 __all__ = [
     "Trace",
     "RequestGenerator",
+    "RoundIterable",
+    "as_trace",
     "generate_trace",
+    "stream_rounds",
     "CommuterScenario",
     "default_period_for",
     "OverlayScenario",

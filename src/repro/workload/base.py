@@ -24,7 +24,27 @@ from typing import Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["Trace", "RequestGenerator", "generate_trace"]
+__all__ = [
+    "Trace",
+    "RequestGenerator",
+    "RoundIterable",
+    "as_trace",
+    "generate_trace",
+    "stream_rounds",
+]
+
+
+def _npz_path(path: "str | Path") -> Path:
+    """``path`` with the ``.npz`` suffix ``np.savez`` would give it anyway.
+
+    ``np.savez`` silently appends ``.npz`` when the suffix is missing, so a
+    ``Trace.load`` on the very path the caller passed to ``save`` used to
+    fail; normalising in both directions makes the pair symmetric.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
 
 
 @dataclass(frozen=True)
@@ -68,10 +88,26 @@ class Trace:
 
     # -- summary statistics -----------------------------------------------------
 
+    def _memo(self, name: str, compute) -> int:
+        """Compute-once statistics on a frozen dataclass.
+
+        ``max_node``/``total_requests`` sit on the simulator's validation
+        hot path and used to re-scan every round on each access; the rounds
+        are immutable, so the first computed value is final.
+        """
+        cached = self.__dict__.get(name)
+        if cached is None:
+            cached = compute()
+            object.__setattr__(self, name, cached)
+        return cached
+
     @property
     def total_requests(self) -> int:
-        """Number of requests over the whole trace."""
-        return int(sum(arr.size for arr in self.rounds))
+        """Number of requests over the whole trace (computed once)."""
+        return self._memo(
+            "_total_requests",
+            lambda: int(sum(arr.size for arr in self.rounds)),
+        )
 
     @property
     def max_requests_per_round(self) -> int:
@@ -80,24 +116,37 @@ class Trace:
 
     @property
     def max_node(self) -> int:
-        """Largest node index referenced; -1 for an all-empty trace."""
-        present = [int(arr.max()) for arr in self.rounds if arr.size]
-        return max(present, default=-1)
+        """Largest node index referenced; -1 for an all-empty trace.
+
+        Computed once per trace: simulate() checks it on every run and the
+        rounds cannot change.
+        """
+        return self._memo(
+            "_max_node",
+            lambda: max(
+                (int(arr.max()) for arr in self.rounds if arr.size), default=-1
+            ),
+        )
 
     def requests_per_round(self) -> np.ndarray:
         """Round-size series, shape ``(len(trace),)``."""
         return np.asarray([arr.size for arr in self.rounds], dtype=np.int64)
 
     def node_histogram(self, n_nodes: int) -> np.ndarray:
-        """Total request count per node over the whole trace."""
+        """Total request count per node over the whole trace.
+
+        One ``np.bincount`` over the concatenated flat request array instead
+        of a per-round bincount loop — O(requests + n_nodes) regardless of
+        the round count.
+        """
         if self.max_node >= n_nodes:
             raise ValueError(
                 f"trace references node {self.max_node} >= n_nodes={n_nodes}"
             )
-        hist = np.zeros(n_nodes, dtype=np.int64)
-        for arr in self.rounds:
-            hist += np.bincount(arr, minlength=n_nodes)
-        return hist
+        if not self.rounds:
+            return np.zeros(n_nodes, dtype=np.int64)
+        flat = np.concatenate(self.rounds)
+        return np.bincount(flat, minlength=n_nodes).astype(np.int64, copy=False)
 
     # -- slicing & composition ----------------------------------------------------
 
@@ -119,9 +168,14 @@ class Trace:
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, path: "str | Path") -> None:
-        """Serialise to ``.npz`` (flat request array + round offsets + metadata)."""
-        path = Path(path)
+    def save(self, path: "str | Path") -> Path:
+        """Serialise to ``.npz`` (flat request array + round offsets + metadata).
+
+        The suffix is normalised to ``.npz`` (matching what ``np.savez``
+        writes regardless); the actual path written is returned so callers
+        can hand it straight to :meth:`load`.
+        """
+        path = _npz_path(path)
         flat = (
             np.concatenate([arr for arr in self.rounds])
             if self.rounds
@@ -132,11 +186,21 @@ class Trace:
             {"scenario_name": self.scenario_name, "metadata": self.metadata}
         )
         np.savez(path, flat=flat, sizes=sizes, header=np.asarray(header))
+        return path
 
     @classmethod
     def load(cls, path: "str | Path") -> "Trace":
-        """Load a trace produced by :meth:`save`."""
-        with np.load(Path(path), allow_pickle=False) as data:
+        """Load a trace produced by :meth:`save`.
+
+        Accepts the path exactly as the caller passed it to :meth:`save`:
+        a missing ``.npz`` suffix is appended when the literal path does not
+        exist (mirroring the ``np.savez`` behaviour that appended it on
+        write).
+        """
+        path = Path(path)
+        if not path.exists():
+            path = _npz_path(path)
+        with np.load(path, allow_pickle=False) as data:
             flat = data["flat"]
             sizes = data["sizes"]
             header = json.loads(str(data["header"]))
@@ -149,13 +213,37 @@ class Trace:
 
 @runtime_checkable
 class RequestGenerator(Protocol):
-    """Protocol for demand scenarios: deterministic trace factories."""
+    """Protocol for demand scenarios: deterministic trace factories.
+
+    Scenarios may additionally implement an *optional* ``stream(horizon,
+    rng)`` method yielding one round array at a time with the exact RNG
+    consumption order of ``generate`` — :func:`stream_rounds` prefers it and
+    :class:`~repro.traces.StreamingTrace` builds on it to run million-round
+    horizons in O(round) memory. Scenarios without ``stream`` still work
+    everywhere; the streaming layer falls back to materialising.
+    """
 
     #: Scenario label used in trace metadata and reports.
     scenario_name: str
 
     def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
         """Produce a ``horizon``-round trace using ``rng`` for all randomness."""
+
+
+@runtime_checkable
+class RoundIterable(Protocol):
+    """What the simulator actually consumes: a sized iterable of rounds.
+
+    Both :class:`Trace` (materialised, re-iterable tuple) and
+    :class:`~repro.traces.StreamingTrace` (lazy, re-iterable from a stored
+    seed) satisfy this; ``scenario_name`` rides along for ledger labels.
+    """
+
+    scenario_name: str
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[np.ndarray]: ...
 
 
 def generate_trace(
@@ -175,3 +263,42 @@ def generate_trace(
             f"expected {horizon}"
         )
     return trace
+
+
+def stream_rounds(
+    generator: RequestGenerator, horizon: int, rng: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """Yield ``generator``'s rounds one at a time.
+
+    Uses the scenario's lazy ``stream`` method when it has one (O(round)
+    memory); otherwise falls back to materialising the whole trace through
+    ``generate`` and iterating it. Either way the yielded rounds are
+    bit-identical to ``generate(horizon, rng)`` with the same RNG state —
+    stream-capable scenarios implement ``generate`` *in terms of* their
+    stream, so the draws happen in the same order.
+    """
+    stream = getattr(generator, "stream", None)
+    if stream is not None:
+        yield from stream(horizon, rng)
+    else:
+        yield from generator.generate(horizon, rng)
+
+
+def as_trace(rounds: "RoundIterable | Trace") -> Trace:
+    """Materialise any round-iterable into a :class:`Trace`.
+
+    A :class:`Trace` passes through unchanged; anything else (e.g. a
+    :class:`~repro.traces.StreamingTrace`) is fully iterated — this is the
+    O(trace)-memory step offline policies declare they need (see
+    :class:`~repro.core.policy.OfflinePolicy`).
+    """
+    if isinstance(rounds, Trace):
+        return rounds
+    materialize = getattr(rounds, "materialize", None)
+    if materialize is not None:
+        return materialize()
+    return Trace(
+        tuple(rounds),
+        scenario_name=getattr(rounds, "scenario_name", ""),
+        metadata=dict(getattr(rounds, "metadata", {}) or {}),
+    )

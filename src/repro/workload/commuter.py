@@ -136,33 +136,35 @@ class CommuterScenario:
         order = np.lexsort((jitter, distances))
         return aps[order]
 
-    def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
-        """Produce a ``horizon``-round commuter trace."""
+    def stream(self, horizon: int, rng: np.random.Generator):
+        """Yield commuter rounds lazily (same draws as :meth:`generate`)."""
         ordering = self._center_ordering(rng)
         volume = self.peak_demand
         cap = self.peak_access_points
-        rounds = []
         for t in range(horizon):
             step = self.fanout_step(t)
             points = ordering[: min(1 << step, cap)]
             if self.dynamic_load:
-                rounds.append(points.copy())
+                yield points.copy()
             else:
                 # 2^(T/2) requests split as evenly as possible (exactly
                 # 2^(T/2-s) each below saturation).
                 counts = np.full(points.size, volume // points.size, dtype=np.int64)
                 counts[: volume % points.size] += 1
-                rounds.append(np.repeat(points, counts))
+                yield np.repeat(points, counts)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
+        """Produce a ``horizon``-round commuter trace."""
         return Trace(
-            tuple(rounds),
+            tuple(self.stream(horizon, rng)),
             scenario_name=self.scenario_name,
             metadata={
                 "scenario": "commuter",
                 "dynamic_load": self.dynamic_load,
                 "period": self.period,
                 "sojourn": self.sojourn,
-                "peak_access_points": cap,
-                "peak_demand": volume,
+                "peak_access_points": self.peak_access_points,
+                "peak_demand": self.peak_demand,
                 "substrate": self.substrate.name,
             },
         )

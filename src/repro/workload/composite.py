@@ -18,13 +18,14 @@ implementations, so they compose recursively and run through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.workload.base import RequestGenerator, Trace
+from repro.api.registry import register_scenario
+from repro.workload.base import RequestGenerator, Trace, stream_rounds
 
-__all__ = ["OverlayScenario", "PhasedScenario"]
+__all__ = ["OverlayScenario", "PhasedScenario", "overlay"]
 
 
 @dataclass
@@ -46,6 +47,22 @@ class OverlayScenario:
         names = "+".join(getattr(p, "scenario_name", type(p).__name__)
                          for p in self.parts)
         self.scenario_name = f"overlay({names})"
+
+    def stream(self, horizon: int, rng: np.random.Generator):
+        """Yield overlaid rounds lazily.
+
+        Each part streams against its own spawned child generator (the same
+        children :meth:`generate` spawns), so the yielded rounds are
+        bit-identical to the materialised ones while holding only one round
+        per part in memory.
+        """
+        children = rng.spawn(len(self.parts))
+        streams = [
+            stream_rounds(part, horizon, child)
+            for part, child in zip(self.parts, children)
+        ]
+        for per_part in zip(*streams):
+            yield np.concatenate(per_part)
 
     def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
         """Generate all parts and concatenate their rounds element-wise."""
@@ -92,6 +109,18 @@ class PhasedScenario:
         )
         self.scenario_name = f"phased({names})"
 
+    def stream(self, horizon: int, rng: np.random.Generator):
+        """Yield phased rounds lazily (same child spawning as generate)."""
+        children = rng.spawn(len(self.phases))
+        remaining = horizon
+        for i, ((duration, part), child) in enumerate(zip(self.phases, children)):
+            if remaining <= 0:
+                break
+            is_last = i == len(self.phases) - 1
+            span = remaining if is_last else min(duration, remaining)
+            yield from stream_rounds(part, span, child)
+            remaining -= span
+
     def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
         """Generate each phase with its own child RNG and stitch them."""
         children = rng.spawn(len(self.phases))
@@ -113,3 +142,66 @@ class PhasedScenario:
                 "phases": [d for d, _p in self.phases],
             },
         )
+
+
+def _part_spec(part) -> "tuple[str, dict]":
+    """Normalise one ``overlay`` part param: ``"kind"`` or ``{kind, params}``."""
+    if isinstance(part, str):
+        return part, {}
+    if isinstance(part, Mapping):
+        extra = sorted(set(part) - {"kind", "params"})
+        if "kind" not in part or extra:
+            raise ValueError(
+                f"overlay part {dict(part)!r} must be {{'kind': ..., "
+                f"'params': {{...}}}}; unknown keys {extra}"
+            )
+        return str(part["kind"]), dict(part.get("params") or {})
+    raise ValueError(
+        f"overlay part must be a scenario name or a kind/params mapping, "
+        f"got {part!r}"
+    )
+
+
+@register_scenario("overlay")
+def overlay(substrate, parts=()):
+    """Layer registered scenarios from a spec: ``overlay`` as a factory.
+
+    ``parts`` is a sequence of scenario names or ``{"kind": ..., "params":
+    {...}}`` mappings (JSON-safe, so an overlay is expressible as a
+    :class:`~repro.api.specs.ScenarioSpec` and from the CLI). Each part is
+    resolved through the scenario registry and built on ``substrate``; the
+    result is an :class:`OverlayScenario`, so bursty arrival processes layer
+    onto the commuter/time-zone generators declaratively::
+
+        ScenarioSpec("overlay", {"parts": [
+            {"kind": "commuter", "params": {"sojourn": 10}},
+            {"kind": "flashcrowd", "params": {"peak": 60}},
+        ]})
+    """
+    from repro.api.registry import resolve_scenario
+
+    specs = [_part_spec(part) for part in parts]
+    if not specs:
+        raise ValueError("overlay needs at least one part scenario")
+    return OverlayScenario(
+        [resolve_scenario(kind)(substrate, **params) for kind, params in specs]
+    )
+
+
+def _overlay_fingerprint(params) -> "list | None":
+    """Delegate content fingerprints to file-backed parts (e.g. replay)."""
+    from repro.api.cache import scenario_content_fingerprint
+
+    extras = []
+    for part in params.get("parts", ()) or ():
+        try:
+            kind, part_params = _part_spec(part)
+        except ValueError:
+            continue  # a malformed spec fails loudly at build time instead
+        entry = scenario_content_fingerprint(kind, part_params)
+        if entry is not None:
+            extras.append(entry)
+    return extras or None
+
+
+overlay.content_fingerprint = _overlay_fingerprint

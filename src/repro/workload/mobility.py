@@ -70,14 +70,13 @@ class MobilityScenario:
             f"corr={self.correlation:g})"
         )
 
-    def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
-        """Produce a ``horizon``-round mobility trace."""
+    def stream(self, horizon: int, rng: np.random.Generator):
+        """Yield mobility rounds lazily (same draws as :meth:`generate`)."""
         aps = self.substrate.access_points
         move_probability = 1.0 / self.mean_sojourn
         positions = rng.choice(aps, size=self.n_users)
         attractor = int(rng.choice(aps))
 
-        rounds = []
         for t in range(horizon):
             if t > 0 and t % self.attractor_period == 0:
                 attractor = int(rng.choice(aps))
@@ -89,9 +88,12 @@ class MobilityScenario:
                 destinations[to_attractor] = attractor
                 positions = positions.copy()
                 positions[movers] = destinations
-            rounds.append(positions.copy())
+            yield positions.copy()
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
+        """Produce a ``horizon``-round mobility trace."""
         return Trace(
-            tuple(rounds),
+            tuple(self.stream(horizon, rng)),
             scenario_name=self.scenario_name,
             metadata={
                 "scenario": "mobility",

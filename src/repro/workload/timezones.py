@@ -75,22 +75,24 @@ class TimeZoneScenario:
         """Index of the active period (and thus hotspot) in round ``t``."""
         return (t // self.sojourn) % self.period
 
-    def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
-        """Produce a ``horizon``-round time-zone trace."""
+    def stream(self, horizon: int, rng: np.random.Generator):
+        """Yield time-zone rounds lazily (same draws as :meth:`generate`)."""
         aps = self.substrate.access_points
         # One hotspot per period, drawn once and reused every day.
         hotspots = rng.choice(aps, size=self.period, replace=aps.size < self.period)
         n_hot = self.hotspot_requests
         n_background = self.requests_per_round - n_hot
 
-        rounds = []
         for t in range(horizon):
             hotspot = hotspots[self.period_of(t)]
             pinned = np.full(n_hot, hotspot, dtype=np.int64)
             background = rng.choice(aps, size=n_background)
-            rounds.append(np.concatenate([pinned, background]))
+            yield np.concatenate([pinned, background])
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> Trace:
+        """Produce a ``horizon``-round time-zone trace."""
         return Trace(
-            tuple(rounds),
+            tuple(self.stream(horizon, rng)),
             scenario_name=self.scenario_name,
             metadata={
                 "scenario": "timezones",

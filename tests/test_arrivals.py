@@ -1,0 +1,150 @@
+"""Bursty arrival processes: gamma-modulated, flash crowds, diurnal waves."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiurnalWavesScenario,
+    FlashCrowdScenario,
+    GammaArrivalScenario,
+    OnTH,
+    simulate,
+)
+from repro.api.registry import resolve_scenario
+from repro.workload.base import generate_trace
+from repro.workload.composite import OverlayScenario
+
+
+class TestGammaArrivals:
+    def test_mean_rate_roughly_matches(self, er30):
+        scenario = GammaArrivalScenario(er30, rate=8.0, cv=1.0, burst_length=5)
+        trace = generate_trace(scenario, 400, seed=1)
+        mean = trace.total_requests / len(trace)
+        assert 5.0 < mean < 12.0  # Gamma mean = rate, loose statistical band
+
+    def test_higher_cv_means_burstier_rounds(self, er30):
+        smooth = GammaArrivalScenario(er30, rate=10.0, cv=0.2, burst_length=5)
+        bursty = GammaArrivalScenario(er30, rate=10.0, cv=3.0, burst_length=5)
+        var_smooth = np.var(
+            generate_trace(smooth, 300, seed=2).requests_per_round()
+        )
+        var_bursty = np.var(
+            generate_trace(bursty, 300, seed=2).requests_per_round()
+        )
+        assert var_bursty > 2 * var_smooth
+
+    def test_concentration_skews_placement(self, er30):
+        scenario = GammaArrivalScenario(er30, rate=10.0, concentration=0.05)
+        hist = generate_trace(scenario, 200, seed=3).node_histogram(er30.n)
+        share = hist.max() / max(hist.sum(), 1)
+        assert share > 0.2  # a sparse Dirichlet concentrates the demand
+
+    def test_requests_land_on_access_points(self, er30):
+        scenario = GammaArrivalScenario(er30, rate=5.0)
+        trace = generate_trace(scenario, 50, seed=4)
+        aps = set(er30.access_points.tolist())
+        for requests in trace:
+            assert set(requests.tolist()) <= aps
+
+    def test_parameter_validation(self, er30):
+        with pytest.raises(ValueError):
+            GammaArrivalScenario(er30, rate=-1)
+        with pytest.raises(ValueError):
+            GammaArrivalScenario(er30, cv=0)
+        with pytest.raises(ValueError):
+            GammaArrivalScenario(er30, burst_length=0)
+
+
+class TestFlashCrowd:
+    def test_flash_rounds_far_exceed_background(self, er30):
+        scenario = FlashCrowdScenario(
+            er30, background_rate=2.0, event_rate=0.05, peak=80.0, ramp=3
+        )
+        sizes = generate_trace(scenario, 300, seed=5).requests_per_round()
+        assert sizes.max() > 10 * max(np.median(sizes), 1)
+
+    def test_zero_event_rate_is_pure_background(self, er30):
+        scenario = FlashCrowdScenario(er30, background_rate=3.0, event_rate=0.0)
+        sizes = generate_trace(scenario, 200, seed=6).requests_per_round()
+        assert sizes.max() < 20
+
+    def test_crowd_concentrates_near_epicenter(self, er30):
+        scenario = FlashCrowdScenario(
+            er30, background_rate=0.5, event_rate=0.05,
+            peak=100.0, ramp=2, spread=3,
+        )
+        hist = generate_trace(scenario, 200, seed=7).node_histogram(er30.n)
+        top3 = np.sort(hist)[-3:].sum()
+        assert top3 > 0.3 * hist.sum()  # flashes pile onto few sites
+
+    def test_decay_validated(self, er30):
+        with pytest.raises(ValueError, match="decay"):
+            FlashCrowdScenario(er30, decay=0.0)
+
+
+class TestDiurnalWaves:
+    def test_day_factor_correlates_regions(self, er30):
+        scenario = DiurnalWavesScenario(
+            er30, n_regions=3, day_length=12, rate=20.0, day_cv=1.0
+        )
+        trace = generate_trace(scenario, 240, seed=8)
+        daily = trace.requests_per_round().reshape(-1, 12).sum(axis=1)
+        assert daily.std() > 0.2 * daily.mean()  # heavy vs light days exist
+
+    def test_zero_day_cv_disables_day_variation(self, er30):
+        scenario = DiurnalWavesScenario(
+            er30, n_regions=2, day_length=8, rate=10.0, day_cv=0.0
+        )
+        trace = generate_trace(scenario, 80, seed=9)
+        assert trace.total_requests > 0
+
+    def test_waves_cover_all_regions(self, er30):
+        scenario = DiurnalWavesScenario(er30, n_regions=3, rate=10.0)
+        hist = generate_trace(scenario, 200, seed=10).node_histogram(er30.n)
+        assert (hist > 0).sum() >= 3
+
+    def test_more_regions_than_access_points_saturates(self, line5):
+        scenario = DiurnalWavesScenario(line5, n_regions=50, rate=3.0)
+        assert len(generate_trace(scenario, 20, seed=11)) == 20
+
+
+class TestComposition:
+    def test_overlay_with_synthetic_generator(self, er30):
+        commuter = resolve_scenario("commuter")(er30, period=4, sojourn=2)
+        flash = FlashCrowdScenario(er30, event_rate=0.1, peak=20.0)
+        overlay = OverlayScenario([commuter, flash])
+        trace = generate_trace(overlay, 30, seed=12)
+        assert len(trace) == 30
+        result = simulate(er30, OnTH(), trace)
+        assert result.total_cost > 0
+
+    def test_overlay_factory_from_spec_params(self, er30):
+        factory = resolve_scenario("overlay")
+        scenario = factory(
+            er30,
+            parts=[
+                {"kind": "commuter", "params": {"period": 4, "sojourn": 2}},
+                {"kind": "gamma", "params": {"rate": 3.0}},
+            ],
+        )
+        trace = generate_trace(scenario, 16, seed=13)
+        assert trace.scenario_name.startswith("overlay(")
+
+    def test_overlay_factory_rejects_bad_parts(self, er30):
+        factory = resolve_scenario("overlay")
+        with pytest.raises(ValueError, match="at least one part"):
+            factory(er30, parts=[])
+        with pytest.raises(ValueError, match="kind"):
+            factory(er30, parts=[{"params": {}}])
+
+    def test_seed_reproducibility(self, er30):
+        for cls, kwargs in (
+            (GammaArrivalScenario, {"rate": 5.0}),
+            (FlashCrowdScenario, {"event_rate": 0.2}),
+            (DiurnalWavesScenario, {"n_regions": 2}),
+        ):
+            scenario = cls(er30, **kwargs)
+            a = generate_trace(scenario, 25, seed=99)
+            b = generate_trace(scenario, 25, seed=99)
+            for x, y in zip(a, b):
+                np.testing.assert_array_equal(x, y)

@@ -40,13 +40,13 @@ def one_line(err: str) -> str:
 class TestErrorPaths:
     def test_subcommand_registry_is_complete(self):
         assert set(_SUBCOMMANDS) == {
-            "run", "list", "cache", "enqueue", "worker", "serve",
+            "run", "list", "cache", "trace", "enqueue", "worker", "serve",
         }
 
     def test_unknown_subcommand_names_the_alternatives(self, capsys):
         assert main(["serveq"]) == 2
         hint = one_line(capsys.readouterr().err)
-        assert "cache, enqueue, list, run, serve, worker" in hint
+        assert "cache, enqueue, list, run, serve, trace, worker" in hint
 
     def test_zero_runs_is_a_flag_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -1,0 +1,161 @@
+"""Tests for the trace CLI surface: validate / stats / convert."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.__main__ import main, trace_command
+from repro.workload.base import Trace
+
+SAMPLE = str(Path(__file__).parent / "data" / "sample_requests.csv")
+
+
+def one_line(err: str) -> str:
+    lines = [line for line in err.splitlines() if line]
+    assert len(lines) == 1, err
+    return lines[0]
+
+
+class TestValidate:
+    def test_sample_log_validates(self, capsys):
+        assert main(["trace", "validate", SAMPLE]) == 0
+        out = capsys.readouterr().out
+        assert "ok: True" in out
+        assert "rounds: 24" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["trace", "validate", SAMPLE, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["rounds"] == 24
+        assert payload["total_requests"] == 87
+        assert "busiest_nodes" not in payload  # stats-only detail
+
+    def test_missing_file_is_exit_2(self, capsys):
+        assert main(["trace", "validate", "no-such-file.csv"]) == 2
+        assert one_line(capsys.readouterr().err).startswith("error:")
+
+    def test_out_of_order_log_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "backwards.csv"
+        path.write_text("round,node\n5,a\n1,b\n")
+        assert main(["trace", "validate", str(path)]) == 2
+        assert "sort" in one_line(capsys.readouterr().err)
+
+    def test_json_error_payload(self, tmp_path, capsys):
+        path = tmp_path / "backwards.csv"
+        path.write_text("round,node\n5,a\n1,b\n")
+        assert main(["trace", "validate", str(path), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "sort" in payload["error"]
+
+    def test_unknown_suffix_needs_format(self, tmp_path, capsys):
+        path = tmp_path / "requests.log"
+        path.write_text("round,node\n0,a\n")
+        assert main(["trace", "validate", str(path)]) == 2
+        assert "format" in one_line(capsys.readouterr().err)
+        capsys.readouterr()
+        assert main(["trace", "validate", str(path), "--format", "csv"]) == 0
+
+
+class TestStats:
+    def test_stats_reports_busiest_nodes(self, capsys):
+        assert main(["trace", "stats", SAMPLE, "--json", "--top", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["busiest_nodes"]) == 2
+        assert payload["distinct_nodes"] == 6
+
+    def test_requests_per_round_batching(self, tmp_path, capsys):
+        path = tmp_path / "no-rounds.csv"
+        path.write_text("node\na\nb\nc\nd\ne\n")
+        assert main([
+            "trace", "stats", str(path), "--requests-per-round", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] == 3
+
+    def test_round_duration_buckets(self, tmp_path, capsys):
+        path = tmp_path / "ts.jsonl"
+        path.write_text(
+            '{"round": 0.2, "node": "a"}\n{"round": 3.7, "node": "b"}\n'
+        )
+        assert main([
+            "trace", "stats", str(path), "--round-duration", "1.0", "--json",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["rounds"] == 4
+
+
+class TestConvert:
+    def test_convert_then_replay_scored_vs_opt(self, tmp_path, capsys):
+        out = tmp_path / "sample.npz"
+        assert main([
+            "trace", "convert", SAMPLE, "--out", str(out),
+            "--nodes", "5", "--mapping", "hash", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["rounds"] == 24
+
+        trace = Trace.load(out)
+        assert len(trace) == 24
+        assert trace.max_node < 5
+        assert trace.metadata["mapping"] == "hash"
+        assert "sha256" in trace.metadata["converted_from"]
+
+        # the acceptance path: converted log replays through a declarative
+        # run and is scored against OPT
+        assert main([
+            "run", "--policy", "onth", "--topology", "line:n=5",
+            "--scenario", f"replay:path={out}",
+            "--metric", "cost_ratio_vs:reference=OPT",
+            "--horizon", "24", "--runs", "1", "--json",
+        ]) == 0
+        result = json.loads(capsys.readouterr().out)
+        (ratio,) = result["series"]["ONTH"]
+        assert ratio >= 1.0
+
+    def test_convert_requires_out(self, capsys):
+        assert main(["trace", "convert", SAMPLE]) == 2
+        assert "--out" in one_line(capsys.readouterr().err)
+
+    def test_mapping_requires_nodes(self, capsys):
+        assert main([
+            "trace", "convert", SAMPLE, "--out", "x.npz", "--mapping", "hash",
+        ]) == 2
+        assert "--nodes" in one_line(capsys.readouterr().err)
+
+    def test_sort_repairs_out_of_order_logs(self, tmp_path, capsys):
+        path = tmp_path / "backwards.csv"
+        path.write_text("round,node\n2,a\n0,b\n1,a\n")
+        out = tmp_path / "sorted.npz"
+        assert main([
+            "trace", "convert", str(path), "--out", str(out),
+            "--nodes", "3", "--sort",
+        ]) == 0
+        capsys.readouterr()
+        trace = Trace.load(out)
+        assert [int(r.size) for r in trace] == [1, 1, 1]
+
+    def test_round_robin_convert_is_dense(self, tmp_path, capsys):
+        out = tmp_path / "rr.npz"
+        assert main([
+            "trace", "convert", SAMPLE, "--out", str(out),
+            "--nodes", "4", "--mapping", "round_robin",
+        ]) == 0
+        capsys.readouterr()
+        trace = Trace.load(out)
+        assert set(np.concatenate(trace.rounds).tolist()) <= {0, 1, 2, 3}
+
+    def test_limit_truncates(self, tmp_path, capsys):
+        out = tmp_path / "lim.npz"
+        assert main([
+            "trace", "convert", SAMPLE, "--out", str(out),
+            "--nodes", "5", "--limit", "6",
+        ]) == 0
+        capsys.readouterr()
+        assert len(Trace.load(out)) == 6
+
+    def test_trace_command_direct_entry(self, capsys):
+        assert trace_command(["validate", SAMPLE]) == 0
+        capsys.readouterr()

@@ -105,6 +105,53 @@ class TestPersistence:
         np.testing.assert_array_equal(loaded[1], [2])
 
 
+class TestSuffixNormalisation:
+    """np.savez silently appends .npz — save/load must agree on the name."""
+
+    def test_save_without_suffix_round_trips(self, tiny_trace, tmp_path):
+        written = tiny_trace.save(tmp_path / "trace")
+        assert written.name == "trace.npz"
+        assert written.exists()
+        loaded = Trace.load(tmp_path / "trace")  # suffixless load too
+        for a, b in zip(loaded, tiny_trace):
+            np.testing.assert_array_equal(a, b)
+
+    def test_save_returns_written_path(self, tiny_trace, tmp_path):
+        written = tiny_trace.save(tmp_path / "trace.npz")
+        assert written == tmp_path / "trace.npz"
+
+    def test_load_prefers_literal_path(self, tiny_trace, tmp_path):
+        # a file literally named "trace" (no suffix) must still load
+        target = tiny_trace.save(tmp_path / "t.npz")
+        exact = tmp_path / "trace"
+        exact.write_bytes(target.read_bytes())
+        assert len(Trace.load(exact)) == len(tiny_trace)
+
+    def test_load_missing_file_mentions_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Trace.load(tmp_path / "nope")
+
+
+class TestMemoisedProperties:
+    def test_histogram_matches_bincount_of_concat(self, tiny_trace):
+        flat = np.concatenate(tiny_trace.rounds)
+        np.testing.assert_array_equal(
+            tiny_trace.node_histogram(8), np.bincount(flat, minlength=8)
+        )
+
+    def test_histogram_dtype_and_empty(self):
+        hist = Trace(()).node_histogram(4)
+        assert hist.dtype == np.int64
+        np.testing.assert_array_equal(hist, np.zeros(4))
+
+    def test_max_node_and_total_requests_cached(self, tiny_trace):
+        assert tiny_trace.max_node == 4
+        assert tiny_trace.total_requests == 9
+        # memoized on the frozen instance after first access
+        assert tiny_trace.__dict__["_max_node"] == 4
+        assert tiny_trace.__dict__["_total_requests"] == 9
+
+
 class TestGenerateTrace:
     def test_horizon_respected(self, line5):
         scenario = CommuterScenario(line5, period=4, sojourn=2)

@@ -1,0 +1,324 @@
+"""Trace replay: external request logs as first-class scenarios."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import OnTH, Opt, TraceReplayScenario, simulate
+from repro.api.cache import ResultCache, scenario_content_fingerprint
+from repro.api.experiment import run_experiment
+from repro.api.specs import (
+    ExperimentSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+)
+from repro.traces.replay import (
+    file_digest,
+    infer_format,
+    iter_records,
+    make_mapper,
+    replay_stats,
+    rounds_from_records,
+)
+from repro.workload.base import Trace, generate_trace
+
+SAMPLE = Path(__file__).parent / "data" / "sample_requests.csv"
+
+
+@pytest.fixture
+def csv_log(tmp_path):
+    path = tmp_path / "requests.csv"
+    path.write_text(
+        "round,node\n"
+        "0,web-1\n0,web-2\n"
+        "1,web-1\n1,web-3\n"
+        "3,web-2\n3,web-2\n"
+        "4,web-4\n"
+    )
+    return path
+
+
+@pytest.fixture
+def jsonl_log(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    records = [
+        {"t": 0.5, "server": "a"},
+        {"t": 1.2, "server": "b"},
+        {"t": 2.9, "server": "a"},
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path
+
+
+class TestReaders:
+    def test_infer_format(self):
+        assert infer_format("x.csv") == "csv"
+        assert infer_format("x.jsonl") == "jsonl"
+        assert infer_format("x.ndjson") == "jsonl"
+        assert infer_format("x.npz") == "npz"
+        with pytest.raises(ValueError, match="infer"):
+            infer_format("x.log")
+
+    def test_csv_records(self, csv_log):
+        records = list(iter_records(csv_log))
+        assert records[0] == (0.0, "web-1")
+        assert len(records) == 7
+
+    def test_csv_missing_column_is_clear(self, csv_log):
+        with pytest.raises(ValueError, match="no column 'server'"):
+            list(iter_records(csv_log, node_field="server"))
+
+    def test_jsonl_records(self, jsonl_log):
+        records = list(
+            iter_records(jsonl_log, node_field="server", round_field="t")
+        )
+        assert records == [(0.5, "a"), (1.2, "b"), (2.9, "a")]
+
+    def test_jsonl_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"node": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_records(path))
+
+    def test_npz_records(self, tmp_path, tiny_trace):
+        saved = tiny_trace.save(tmp_path / "t.npz")
+        records = list(iter_records(saved))
+        assert len(records) == tiny_trace.total_requests
+        assert records[0] == (0.0, 0)
+
+
+class TestMapping:
+    def test_hash_is_stable_and_total(self):
+        mapper = make_mapper("hash", np.arange(4))
+        keys = ["web-%d" % i for i in range(50)]
+        first = [mapper(k) for k in keys]
+        assert first == [mapper(k) for k in keys]
+        assert all(0 <= node < 4 for node in first)
+
+    def test_round_robin_first_appearance_order(self):
+        mapper = make_mapper("round_robin", np.array([10, 20, 30]))
+        assert [mapper(k) for k in ("c", "a", "c", "b", "d")] == [
+            10, 20, 10, 30, 10,
+        ]
+
+    def test_table_mapping_and_unknown_key(self):
+        mapper = make_mapper(
+            "table", np.arange(5), table={"a": 2, "b": 0}
+        )
+        assert mapper("a") == 2
+        with pytest.raises(ValueError, match="not in the mapping table"):
+            mapper("zzz")
+
+    def test_table_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            make_mapper("table", np.arange(3), table={"a": 7})
+
+    def test_identity_rejects_raw_keys(self):
+        mapper = make_mapper("none", np.arange(3))
+        assert mapper("2") == 2
+        with pytest.raises(ValueError, match="integer node indices"):
+            mapper("web-1")
+
+    def test_unknown_mapping(self):
+        with pytest.raises(ValueError, match="unknown mapping"):
+            make_mapper("magic", np.arange(3))
+
+
+class TestRoundsFromRecords:
+    def test_gaps_become_empty_rounds(self):
+        rounds = list(
+            rounds_from_records([(0, 1), (0, 2), (3, 0)], mapper=int)
+        )
+        assert [list(r) for r in rounds] == [[1, 2], [], [], [0]]
+
+    def test_out_of_order_raises_with_sort_hint(self):
+        with pytest.raises(ValueError, match="sort"):
+            list(rounds_from_records([(2, 1), (0, 1)], mapper=int))
+
+    def test_sort_materialises_and_orders(self):
+        rounds = list(
+            rounds_from_records([(2, 1), (0, 3), (0, 2)], mapper=int, sort=True)
+        )
+        assert [list(r) for r in rounds] == [[3, 2], [], [1]]
+
+    def test_requests_per_round_batching(self):
+        records = [(None, i) for i in range(5)]
+        rounds = list(
+            rounds_from_records(records, mapper=int, requests_per_round=2)
+        )
+        assert [list(r) for r in rounds] == [[0, 1], [2, 3], [4]]
+
+    def test_round_duration_buckets_timestamps(self):
+        records = [(0.1, 0), (0.9, 1), (2.5, 2)]
+        rounds = list(
+            rounds_from_records(records, mapper=int, round_duration=1.0)
+        )
+        assert [list(r) for r in rounds] == [[0, 1], [], [2]]
+
+    def test_missing_round_value_is_clear(self):
+        with pytest.raises(ValueError, match="requests_per_round"):
+            list(rounds_from_records([(None, 0)], mapper=int))
+
+    def test_limit(self):
+        records = [(t, t) for t in range(6)]
+        rounds = list(rounds_from_records(records, mapper=int, limit=2))
+        assert len(rounds) == 2
+
+
+class TestScenario:
+    def test_generate_matches_stream(self, line5, csv_log):
+        scenario = TraceReplayScenario(line5, path=str(csv_log))
+        trace = scenario.generate(12, None)
+        for a, b in zip(trace, scenario.stream(12)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_cycle_extends(self, line5, csv_log):
+        scenario = TraceReplayScenario(line5, path=str(csv_log))
+        trace = scenario.generate(12, None)
+        np.testing.assert_array_equal(trace[5], trace[0])
+        np.testing.assert_array_equal(trace[10], trace[0])
+
+    def test_pad_extends_with_empty_rounds(self, line5, csv_log):
+        scenario = TraceReplayScenario(line5, path=str(csv_log), extend="pad")
+        trace = scenario.generate(8, None)
+        assert trace[5].size == trace[7].size == 0
+
+    def test_error_extend_raises(self, line5, csv_log):
+        scenario = TraceReplayScenario(line5, path=str(csv_log), extend="error")
+        with pytest.raises(ValueError, match="horizon needs 8"):
+            scenario.generate(8, None)
+
+    def test_round_robin_assignments_survive_cycling(self, line5, csv_log):
+        scenario = TraceReplayScenario(
+            line5, path=str(csv_log), mapping="round_robin"
+        )
+        trace = scenario.generate(10, None)
+        np.testing.assert_array_equal(trace[5], trace[0])
+
+    def test_npz_defaults_to_identity_mapping(self, line5, tmp_path, tiny_trace):
+        saved = tiny_trace.save(tmp_path / "t.npz")
+        scenario = TraceReplayScenario(line5, path=str(saved))
+        assert scenario.mapping == "none"
+        trace = scenario.generate(len(tiny_trace), None)
+        for a, b in zip(trace, tiny_trace):
+            np.testing.assert_array_equal(a, b)
+
+    def test_out_of_substrate_nodes_rejected(self, line5, tmp_path):
+        path = tmp_path / "big.csv"
+        path.write_text("round,node\n0,99\n")
+        scenario = TraceReplayScenario(line5, path=str(path), mapping="none")
+        with pytest.raises(ValueError, match="outside the substrate"):
+            scenario.generate(1, None)
+
+    def test_empty_log_rejected(self, line5, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("round,node\n")
+        scenario = TraceReplayScenario(line5, path=str(path))
+        with pytest.raises(ValueError, match="no rounds"):
+            scenario.generate(3, None)
+
+    def test_missing_path_rejected(self, line5):
+        with pytest.raises(ValueError, match="path"):
+            TraceReplayScenario(line5)
+
+    def test_metadata_carries_digest(self, line5, csv_log):
+        trace = TraceReplayScenario(line5, path=str(csv_log)).generate(5, None)
+        assert trace.metadata["sha256"] == file_digest(csv_log)["sha256"]
+
+
+class TestEndToEnd:
+    def test_sample_log_simulates_and_scores_vs_opt(self, line5):
+        scenario = TraceReplayScenario(line5, path=str(SAMPLE))
+        trace = generate_trace(scenario, 24, seed=0)
+        result = simulate(line5, OnTH(), trace)
+        opt_cost, _ = Opt.solve(line5, trace)
+        assert 0 < opt_cost <= result.total_cost
+
+    def test_replay_through_declarative_spec(self):
+        spec = ExperimentSpec(
+            topology=TopologySpec("line", {"n": 5}),
+            scenario=ScenarioSpec("replay", {"path": str(SAMPLE)}),
+            policies=(PolicySpec("onth"),),
+            horizon=24,
+        )
+        result = run_experiment(spec)
+        assert result.results["ONTH"].total_cost > 0
+
+
+class TestContentFingerprint:
+    def test_digest_memoized_until_content_changes(self, csv_log):
+        first = file_digest(csv_log)
+        assert file_digest(csv_log) == first
+        csv_log.write_text("round,node\n0,other\n")
+        assert file_digest(csv_log)["sha256"] != first["sha256"]
+
+    def test_fingerprint_none_for_non_file_scenarios(self):
+        assert scenario_content_fingerprint("commuter", {"sojourn": 5}) is None
+        assert scenario_content_fingerprint("not-a-scenario", {}) is None
+
+    def test_replay_fingerprint_tracks_file(self, csv_log):
+        fp = scenario_content_fingerprint("replay", {"path": str(csv_log)})
+        assert fp["sha256"] == file_digest(csv_log)["sha256"]
+
+    def test_streaming_delegates_to_inner(self, csv_log):
+        fp = scenario_content_fingerprint(
+            "streaming", {"scenario": "replay", "params": {"path": str(csv_log)}}
+        )
+        assert fp["sha256"] == file_digest(csv_log)["sha256"]
+
+    def test_overlay_delegates_to_parts(self, csv_log):
+        fp = scenario_content_fingerprint(
+            "overlay",
+            {
+                "parts": [
+                    "commuter",
+                    {"kind": "replay", "params": {"path": str(csv_log)}},
+                ]
+            },
+        )
+        assert fp == [{"scenario": "replay", **file_digest(csv_log)}]
+
+    def test_cache_key_changes_when_file_changes(self, tmp_path, csv_log):
+        spec = SweepSpec(
+            experiment=ExperimentSpec(
+                topology=TopologySpec("line", {"n": 5}),
+                scenario=ScenarioSpec("replay", {"path": str(csv_log)}),
+                policies=(PolicySpec("onth"),),
+                horizon=6,
+            ),
+            runs=1,
+        )
+        cache = ResultCache(tmp_path / "cache")
+        before_sweep = cache.key_for(spec)
+        before_point = cache.key_for_point(spec.experiment, 0, 0, 1)
+        csv_log.write_text("round,node\n0,changed\n1,changed\n")
+        assert cache.key_for(spec) != before_sweep
+        assert cache.key_for_point(spec.experiment, 0, 0, 1) != before_point
+
+    def test_cache_key_stable_for_synthetic_scenarios(self, tmp_path):
+        spec = SweepSpec(
+            experiment=ExperimentSpec(
+                topology=TopologySpec("line", {"n": 5}),
+                scenario=ScenarioSpec("commuter", {"sojourn": 2, "period": 4}),
+                policies=(PolicySpec("onth"),),
+                horizon=6,
+            ),
+            runs=1,
+        )
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.key_for(spec) == cache.key_for(spec)
+
+
+class TestStats:
+    def test_replay_stats_shape(self, line5, csv_log):
+        scenario = TraceReplayScenario(line5, path=str(csv_log))
+        stats = replay_stats(scenario.generate(5, None))
+        assert stats["rounds"] == 5
+        assert stats["total_requests"] == 7
+        assert stats["nonempty_rounds"] == 4
+        assert stats["requests_per_round"]["max"] == 2
+        assert stats["busiest_nodes"][0]["requests"] >= 1

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the traces subsystem.
+
+Pinned invariants: Trace persistence/window/concat round-trips preserve
+data, metadata and dtype under any suffix; node mapping is a total,
+deterministic function; arrival scenarios are (seed, params)-reproducible
+and streaming-identical on arbitrary parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.topology.generators import line
+from repro.traces.arrivals import (
+    DiurnalWavesScenario,
+    FlashCrowdScenario,
+    GammaArrivalScenario,
+)
+from repro.traces.replay import make_mapper
+from repro.traces.streaming import StreamingTrace
+from repro.workload.base import Trace
+
+LINE7 = line(7, seed=0)
+
+rounds_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=9), max_size=6).map(
+        lambda xs: np.asarray(xs, dtype=np.int64)
+    ),
+    max_size=8,
+)
+
+metadata_strategy = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=8)),
+    max_size=4,
+)
+
+key_strategy = st.one_of(
+    st.text(max_size=12), st.integers(), st.tuples(st.integers(), st.text(max_size=4))
+)
+
+
+class TestTraceRoundTrips:
+    @given(rounds=rounds_strategy, metadata=metadata_strategy,
+           suffix=st.sampled_from(["", ".npz"]))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_save_load_preserves_everything(self, tmp_path, rounds, metadata, suffix):
+        trace = Trace(tuple(rounds), scenario_name="prop", metadata=metadata)
+        written = trace.save(tmp_path / f"t{suffix}")
+        assert written.suffix == ".npz"
+        loaded = Trace.load(written)
+        assert len(loaded) == len(trace)
+        assert loaded.scenario_name == "prop"
+        assert loaded.metadata == metadata
+        for a, b in zip(loaded, trace):
+            assert a.dtype == np.int64
+            np.testing.assert_array_equal(a, b)
+
+    @given(rounds=rounds_strategy, data=st.data())
+    @settings(max_examples=30)
+    def test_window_preserves_rounds_and_metadata(self, rounds, data):
+        trace = Trace(tuple(rounds), scenario_name="w", metadata={"k": 1})
+        start = data.draw(st.integers(0, len(trace)))
+        stop = data.draw(st.integers(start, len(trace)))
+        sub = trace.window(start, stop)
+        assert len(sub) == stop - start
+        assert sub.scenario_name == "w"
+        assert sub.metadata == {"k": 1}
+        for i, arr in enumerate(sub):
+            np.testing.assert_array_equal(arr, trace[start + i])
+
+    @given(a=rounds_strategy, b=rounds_strategy)
+    @settings(max_examples=30)
+    def test_concat_is_length_and_count_additive(self, a, b):
+        ta = Trace(tuple(a), metadata={"m": "a"})
+        tb = Trace(tuple(b))
+        joined = ta.concat(tb)
+        assert len(joined) == len(ta) + len(tb)
+        assert joined.total_requests == ta.total_requests + tb.total_requests
+        assert joined.metadata == ta.metadata
+
+
+class TestNodeMapping:
+    @given(keys=st.lists(key_strategy, max_size=30),
+           mapping=st.sampled_from(["hash", "round_robin"]),
+           n_targets=st.integers(1, 9))
+    @settings(max_examples=50)
+    def test_mapping_is_total_and_deterministic(self, keys, mapping, n_targets):
+        targets = np.arange(n_targets)
+        first = [make_mapper(mapping, targets)(k) for k in keys]
+        second = [make_mapper(mapping, targets)(k) for k in keys]
+        assert first == second  # fresh mapper, same file order => same nodes
+        assert all(0 <= node < n_targets for node in first)
+
+    @given(keys=st.lists(key_strategy, min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_hash_is_order_independent(self, keys):
+        targets = np.arange(5)
+        forward = make_mapper("hash", targets)
+        backward = make_mapper("hash", targets)
+        assert [forward(k) for k in keys] == list(
+            reversed([backward(k) for k in reversed(keys)])
+        )
+
+
+SCENARIO_STRATEGY = st.one_of(
+    st.builds(
+        lambda rate, cv, burst: GammaArrivalScenario(
+            LINE7, rate=rate, cv=cv, burst_length=burst
+        ),
+        rate=st.floats(0.5, 20.0),
+        cv=st.floats(0.1, 4.0),
+        burst=st.integers(1, 10),
+    ),
+    st.builds(
+        lambda event_rate, peak, ramp: FlashCrowdScenario(
+            LINE7, event_rate=event_rate, peak=peak, ramp=ramp
+        ),
+        event_rate=st.floats(0.0, 0.5),
+        peak=st.floats(1.0, 50.0),
+        ramp=st.integers(1, 5),
+    ),
+    st.builds(
+        lambda regions, day: DiurnalWavesScenario(
+            LINE7, n_regions=regions, day_length=day
+        ),
+        regions=st.integers(1, 5),
+        day=st.integers(2, 20),
+    ),
+)
+
+
+class TestArrivalReproducibility:
+    @given(scenario=SCENARIO_STRATEGY, seed=st.integers(0, 2**32 - 1),
+           horizon=st.integers(0, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_seed_params_reproducible(self, scenario, seed, horizon):
+        a = scenario.generate(horizon, np.random.default_rng(seed))
+        b = scenario.generate(horizon, np.random.default_rng(seed))
+        assert len(a) == len(b) == horizon
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    @given(scenario=SCENARIO_STRATEGY, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_equals_materialised(self, scenario, seed):
+        lazy = StreamingTrace(scenario, 15, seed=seed)
+        eager = scenario.generate(15, np.random.default_rng(seed))
+        for x, y in zip(lazy, eager):
+            np.testing.assert_array_equal(x, y)
