@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Perf + bit-identity harness for the batched simulation core.
+
+Benchmarks :func:`repro.core.batch.simulate_batched` against the scalar
+:func:`repro.core.simulator.simulate` on three points:
+
+* ``fig03-n400-trio`` / ``fig03-n1000-trio`` — the paper's Figure 3 shape:
+  the ONTH/ONBR-fixed/ONBR-dyn trio sharing one commuter trace per
+  replicate, at the sweep's n=400 point and the 1000-node headline point.
+* ``routing-core-n1000-static`` — a static policy at n=1000, isolating the
+  batched round loop (span routing + shared gather) from epoch evaluation.
+
+Every point also checks *bit-identity*: all ten ledger columns of the
+batched runs must equal the scalar runs exactly, which is the invariant
+that lets the experiment layer switch paths transparently.
+
+On speedup expectations: bit-identity pins every reduction to the scalar
+path's exact summand sequences, so the batched path cannot shrink the
+irreducible argmin/sum volume — it only removes redundant distance
+gathers (scalar re-gathers columns per round and per epoch family) and
+memoises epoch evaluations across sibling policies sharing a trace.
+Measured honestly, that is ~2x on the trio points and ~3x on the routing
+core; the committed gate floors below are set under those measurements
+with CI-noise headroom, not at marketing numbers.
+
+Usage::
+
+    python benchmarks/bench_core.py [OUTPUT.json]
+
+Writes ``BENCH_core.json`` (or OUTPUT) and exits non-zero when a gate
+fails: any ledger divergence, or a speedup under its floor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.api.registry import resolve_policy
+from repro.core.batch import DistanceGather, simulate_batched
+from repro.core.config import Configuration
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import erdos_renyi
+from repro.workload.commuter import CommuterScenario, default_period_for
+
+LEDGER_FIELDS = (
+    "latency_cost", "load_cost", "running_cost", "migration_cost",
+    "creation_cost", "migrations", "creations", "n_active",
+    "n_inactive", "n_requests",
+)
+
+#: The fig03 trio: one shared commuter trace, three policies.
+TRIO = (
+    ("onth", {}),
+    ("onbr", {}),
+    ("onbr-dyn", {"dynamic_threshold": True}),
+)
+
+#: (name, n, horizon, replicate traces, policies, timing repeats, floor).
+#: Floors are far enough under the measured speedups (~2.0x, ~2.3x, ~3x)
+#: to absorb CI machine noise while still catching a path regression.
+POINTS = (
+    ("fig03-n400-trio", 400, 300, 2, TRIO, 3, 1.3),
+    ("fig03-n1000-trio", 1000, 300, 1, TRIO, 2, 1.4),
+    ("routing-core-n1000-static", 1000, 3000, 1, (("static", {}),), 3, 2.0),
+)
+
+SEED = 20110330
+
+
+def _build_policy(name: str, kwargs: dict, substrate):
+    if name == "static":
+        return resolve_policy("static")(Configuration((substrate.center,), ()))
+    if name == "onbr-dyn":
+        return resolve_policy("onbr")(**kwargs)
+    return resolve_policy(name)(**kwargs)
+
+
+def _runs_identical(scalar_runs, batched_runs) -> bool:
+    return all(
+        np.array_equal(getattr(a, field), getattr(b, field))
+        for a, b in zip(scalar_runs, batched_runs)
+        for field in LEDGER_FIELDS
+    )
+
+
+def _bench_point(name, n, horizon, n_traces, policies, repeats, floor):
+    rng = np.random.default_rng(SEED)
+    substrate = erdos_renyi(n=n, p=min(1.0, 4.0 / n), seed=rng)
+    substrate.distances  # materialise outside the timed region
+    costs = CostModel.paper_default()
+    scenario = CommuterScenario(substrate, period=default_period_for(n))
+    traces = [scenario.generate(horizon, rng) for _ in range(n_traces)]
+
+    def run_scalar():
+        return [
+            simulate(substrate, _build_policy(pname, kwargs, substrate),
+                     trace, costs, seed=np.random.default_rng(0))
+            for trace in traces
+            for pname, kwargs in policies
+        ]
+
+    def run_batched():
+        out = []
+        for trace in traces:
+            gather = DistanceGather(substrate, costs, trace)
+            for pname, kwargs in policies:
+                out.append(simulate_batched(
+                    substrate, _build_policy(pname, kwargs, substrate),
+                    trace, costs, seed=np.random.default_rng(0),
+                    gather=gather,
+                ))
+        return out
+
+    def best_of(fn):
+        elapsed, result = [], None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            elapsed.append(time.perf_counter() - start)
+        return min(elapsed), result
+
+    scalar_seconds, scalar_runs = best_of(run_scalar)
+    batched_seconds, batched_runs = best_of(run_batched)
+
+    replicates = n_traces * len(policies)
+    rounds = replicates * horizon
+    speedup = scalar_seconds / batched_seconds
+    return {
+        "substrate_nodes": n,
+        "horizon": horizon,
+        "traces": n_traces,
+        "policies": [pname for pname, _ in policies],
+        "replicates": replicates,
+        "timing_repeats": repeats,
+        "scalar": {
+            "seconds": round(scalar_seconds, 4),
+            "rounds_per_sec": round(rounds / scalar_seconds, 1),
+            "replicates_per_sec": round(replicates / scalar_seconds, 2),
+        },
+        "batched": {
+            "seconds": round(batched_seconds, 4),
+            "rounds_per_sec": round(rounds / batched_seconds, 1),
+            "replicates_per_sec": round(replicates / batched_seconds, 2),
+        },
+        "speedup": round(speedup, 3),
+        "speedup_floor": floor,
+        "speedup_ok": speedup >= floor,
+        "bit_identical": _runs_identical(scalar_runs, batched_runs),
+    }
+
+
+def run() -> dict:
+    points = {}
+    for name, *args in POINTS:
+        points[name] = _bench_point(name, *args)
+    return {
+        "seed": SEED,
+        "scenario": "commuter",
+        "points": points,
+        "all_bit_identical": all(p["bit_identical"] for p in points.values()),
+        "all_speedups_ok": all(p["speedup_ok"] for p in points.values()),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    output = argv[0] if argv else "BENCH_core.json"
+    payload = run()
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    for name, point in payload["points"].items():
+        print(
+            f"{name}: scalar {point['scalar']['seconds']*1e3:.0f}ms, "
+            f"batched {point['batched']['seconds']*1e3:.0f}ms "
+            f"({point['speedup']:.2f}x, floor {point['speedup_floor']}x, "
+            f"bit_identical={point['bit_identical']}) -> {output}"
+        )
+    if not payload["all_bit_identical"]:
+        print("FAIL: batched ledgers diverged from scalar simulate",
+              file=sys.stderr)
+        return 1
+    if not payload["all_speedups_ok"]:
+        print("FAIL: batched speedup under its committed floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -136,11 +136,15 @@ def _migration_choices(
     occupied = np.asarray(sorted(config.occupied), dtype=np.int64)
     run = costs.running_cost_counts(config.n_active, len(cache))
     choices = []
+    # One bulk call for all k families: batched windows serve every row
+    # from a single stacked pass; row-wise argmin matches the former
+    # per-server scans exactly.
+    access_all = batch.migration_costs_all(active)
+    access_all[:, occupied] = np.inf
+    targets = np.argmin(access_all, axis=1)
     for i in range(active.size):
-        access = batch.migration_costs(active, i).copy()
-        access[occupied] = np.inf
-        target = int(np.argmin(access))
-        if not np.isfinite(access[target]):
+        target = int(targets[i])
+        if not np.isfinite(access_all[i, target]):
             continue
         src = int(active[i])
         # The pricer always takes the cheaper of moving a vanished server
@@ -149,7 +153,7 @@ def _migration_choices(
         choices.append(
             Choice(
                 "migrate",
-                float(access[target]),
+                float(access_all[i, target]),
                 run,
                 move_cost,
                 server=i,

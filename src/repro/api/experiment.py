@@ -42,8 +42,8 @@ from repro.api.specs import (
     ReplicationSpec,
     SweepSpec,
 )
+from repro.core.batch import DistanceGather, simulate_batched
 from repro.core.results import RunResult
-from repro.core.simulator import simulate
 from repro.workload.base import generate_trace
 
 # NOTE: repro.experiments.runner is imported lazily inside the functions that
@@ -126,17 +126,36 @@ def _simulate_spec(
 
     runs: list[PolicyRun] = []
     taken: dict[str, bool] = {}
+    # One CostModel per distinct cost spec and one DistanceGather per
+    # (trace, cost model): policies sharing both (the common case — e.g.
+    # the online trio of the size sweeps) then share the gathered distance
+    # columns and the epoch-evaluation memo of the batched path. CostModel
+    # is immutable, so sharing one instance cannot change any result.
+    cost_models: list = []
+    gathers: dict[tuple[int, int], DistanceGather] = {}
     for policy_spec, trace_index in zip(spec.policies, trace_of):
         policy = policy_spec.build()
         cost_spec = policy_spec.costs or spec.costs
-        costs = cost_spec.to_cost_model()
-        run = simulate(
+        for seen, model in cost_models:
+            if seen is cost_spec:
+                costs = model
+                break
+        else:
+            costs = cost_spec.to_cost_model()
+            cost_models.append((cost_spec, costs))
+        gather_key = (trace_index, id(costs))
+        gather = gathers.get(gather_key)
+        if gather is None:
+            gather = DistanceGather(substrate, costs, traces[trace_index])
+            gathers[gather_key] = gather
+        run = simulate_batched(
             substrate,
             policy,
             traces[trace_index],
             costs,
             routing=spec.routing_strategy,
             seed=rng,
+            gather=gather,
         )
         label = _series_label(policy_spec, policy, taken)
         taken[label] = True

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 __all__ = ["Configuration"]
 
 
@@ -105,6 +107,21 @@ class Configuration:
     def occupied(self) -> frozenset[int]:
         """All nodes hosting any server."""
         return frozenset(self.active) | frozenset(self.inactive)
+
+    @property
+    def active_array(self) -> np.ndarray:
+        """The active nodes as a read-only int64 array (cached).
+
+        The simulator routes every round against the active set; caching the
+        conversion on the frozen instance means a configuration held across
+        an epoch pays it once instead of once per round.
+        """
+        arr = self.__dict__.get("_active_array")
+        if arr is None:
+            arr = np.asarray(self.active, dtype=np.int64)
+            arr.flags.writeable = False
+            object.__setattr__(self, "_active_array", arr)
+        return arr
 
     def hosts_active(self, node: int) -> bool:
         """True when ``node`` hosts an active server."""

@@ -53,6 +53,9 @@ class RequestBatch:
         self._rounds: list[np.ndarray] = []
         self._flat: "np.ndarray | None" = None
         self._round_ids: "np.ndarray | None" = None
+        self._sizes: "np.ndarray | None" = None
+        self._invariant: "bool | None" = None
+        self._inv_load: "float | None" = None
         for arr in rounds:
             self.add_round(arr)
 
@@ -63,12 +66,16 @@ class RequestBatch:
         self._rounds.append(np.asarray(requests, dtype=np.int64))
         self._flat = None
         self._round_ids = None
+        self._sizes = None
+        self._inv_load = None
 
     def clear(self) -> None:
         """Empty the window (start of a new epoch)."""
         self._rounds.clear()
         self._flat = None
         self._round_ids = None
+        self._sizes = None
+        self._inv_load = None
 
     @property
     def n_rounds(self) -> int:
@@ -101,6 +108,30 @@ class RequestBatch:
             )
         return self._round_ids
 
+    @property
+    def round_sizes(self) -> np.ndarray:
+        """Per-round request counts as float64 (memoised).
+
+        Every candidate scan over a non-trivial load model consults the
+        per-round sizes; rebuilding the array per candidate was measurable,
+        so it is cached alongside :attr:`flat` and :attr:`round_ids`.
+        """
+        if self._sizes is None:
+            self._sizes = np.asarray(
+                [arr.size for arr in self._rounds], dtype=np.float64
+            )
+        return self._sizes
+
+    # -- distance access (overridable by the batched gather window) -------------
+
+    def _distance_block(self, rows: np.ndarray) -> np.ndarray:
+        """Distances from ``rows`` to every window request, ``(len(rows), R)``."""
+        return self._substrate.distances[np.ix_(rows, self.flat)]
+
+    def _candidate_matrix(self) -> np.ndarray:
+        """Distances from *every* node to every window request, ``(n, R)``."""
+        return self._substrate.distances[:, self.flat]
+
     # -- exact costs -----------------------------------------------------------
 
     def exact_access_cost(self, active: "np.ndarray | tuple[int, ...]") -> float:
@@ -116,7 +147,7 @@ class RequestBatch:
         if active.size == 0:
             raise ValueError("cannot evaluate a window against zero active servers")
 
-        distances = self._substrate.distances[np.ix_(active, flat)]
+        distances = self._distance_block(active)
         assignment = np.argmin(distances, axis=0)
         latency = float(distances[assignment, np.arange(flat.size)].sum())
         latency += self._costs.wireless_hop * flat.size
@@ -128,14 +159,24 @@ class RequestBatch:
         return latency + load
 
     def _load_is_invariant(self) -> bool:
-        uniform = bool(np.all(self._substrate.strengths == self._substrate.strengths[0]))
-        return uniform and self._costs.load.assignment_invariant_for_uniform_strength
+        if self._invariant is None:
+            uniform = bool(
+                np.all(self._substrate.strengths == self._substrate.strengths[0])
+            )
+            self._invariant = (
+                uniform and self._costs.load.assignment_invariant_for_uniform_strength
+            )
+        return self._invariant
 
     def _invariant_load(self) -> float:
         """Window load total when it does not depend on the assignment."""
-        sizes = np.asarray([arr.size for arr in self._rounds], dtype=np.float64)
-        strength = float(self._substrate.strengths[0])
-        return float(self._costs.load(np.full(sizes.shape, strength), sizes).sum())
+        if self._inv_load is None:
+            sizes = self.round_sizes
+            strength = float(self._substrate.strengths[0])
+            self._inv_load = float(
+                self._costs.load(np.full(sizes.shape, strength), sizes).sum()
+            )
+        return self._inv_load
 
     # -- candidate families ---------------------------------------------------------
 
@@ -146,7 +187,7 @@ class RequestBatch:
             return np.zeros(0, dtype=np.float64)
         if active.size == 0:
             return np.full(self.flat.size, np.inf)
-        return self._substrate.distances[np.ix_(active, self.flat)].min(axis=0)
+        return self._distance_block(active).min(axis=0)
 
     def addition_costs(
         self, active: "np.ndarray | tuple[int, ...]",
@@ -168,7 +209,7 @@ class RequestBatch:
             return np.zeros(n, dtype=np.float64)
 
         base = self.base_latency(active) if base is None else base
-        latency = np.minimum(self._substrate.distances[:, flat], base).sum(axis=1)
+        latency = np.minimum(self._candidate_matrix(), base).sum(axis=1)
         latency += self._costs.wireless_hop * flat.size
 
         if self._load_is_invariant():
@@ -225,7 +266,7 @@ class RequestBatch:
         Valid for convex, per-server load functions (all built-ins): by
         convexity the balanced split minimises the summed load.
         """
-        sizes = np.asarray([arr.size for arr in self._rounds], dtype=np.float64)
+        sizes = self.round_sizes
         strength = float(self._substrate.strengths.max())
         even = sizes / k
         loads = self._costs.load(np.full(sizes.shape, strength), even)
@@ -271,7 +312,7 @@ class RequestBatch:
             base = np.full(flat.size, np.inf)
         else:
             base = self.base_latency(rest)
-        latency = np.minimum(self._substrate.distances[:, flat], base).sum(axis=1)
+        latency = np.minimum(self._candidate_matrix(), base).sum(axis=1)
         latency += self._costs.wireless_hop * flat.size
 
         if self._load_is_invariant():
@@ -279,6 +320,20 @@ class RequestBatch:
         else:
             result = self._migration_shortlist(latency, rest)
         result[active] = np.inf
+        return result
+
+    def migration_costs_all(
+        self, active: "np.ndarray | tuple[int, ...]"
+    ) -> np.ndarray:
+        """All migration families at once: row ``i`` is ``migration_costs(active, i)``.
+
+        The epoch scan asks for every server's family against the same
+        window; batched windows override this with one stacked pass.
+        """
+        active = np.asarray(active, dtype=np.int64)
+        result = np.empty((active.size, self._substrate.n), dtype=np.float64)
+        for i in range(active.size):
+            result[i] = self.migration_costs(active, i)
         return result
 
     def _migration_shortlist(self, latency: np.ndarray, rest: np.ndarray) -> np.ndarray:

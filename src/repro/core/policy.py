@@ -81,6 +81,31 @@ class AllocationPolicy(ABC):
             change" and is free.
         """
 
+    # -- batched execution protocol ---------------------------------------------
+
+    def bind_batch_gather(self, gather) -> bool:
+        """Offer a precomputed distance gather for the next run.
+
+        The batched simulator (:mod:`repro.core.batch`) calls this right
+        before :meth:`reset` with a
+        :class:`~repro.core.batch.DistanceGather` covering the run's full
+        trace. A policy that can serve its request windows from the gather
+        stores it and returns ``True``. Opting in is a contract:
+
+        * ``reset`` and ``decide`` consume **no randomness** — a sibling
+          policy falling back to the scalar path must observe an identical
+          rng stream either way;
+        * every round is fed, in order, to windows created from the gather
+          (``gather.new_window()``), exactly once per window per round.
+
+        The default declines, which routes the policy through the scalar
+        :func:`~repro.core.simulator.simulate` unchanged.
+        """
+        return False
+
+    def unbind_batch_gather(self) -> None:
+        """Drop a previously bound gather (called after a batched run)."""
+
 
 class OfflinePolicy(AllocationPolicy):
     """A policy that sees the full request sequence before the run."""

@@ -86,7 +86,10 @@ def route_requests(
         A :class:`RoutingResult`; zero-valued for an empty round.
 
     Raises:
-        ValueError: when requests exist but no server is active.
+        ValueError: when requests exist but no server is active, or when a
+            request or server carries a negative node index (which would
+            otherwise wrap via numpy fancy indexing and silently route to
+            the substrate's last node).
     """
     servers = np.asarray(servers, dtype=np.int64)
     requests = np.asarray(requests, dtype=np.int64)
@@ -100,6 +103,14 @@ def route_requests(
         )
     if servers.size == 0:
         raise ValueError("cannot route requests: no active servers")
+    if int(requests.min()) < 0:
+        raise ValueError(
+            f"cannot route requests: negative node index {int(requests.min())}"
+        )
+    if servers.size and int(servers.min()) < 0:
+        raise ValueError(
+            f"cannot route requests: negative server node {int(servers.min())}"
+        )
 
     if strategy is RoutingStrategy.NEAREST:
         return _route_nearest(substrate, servers, requests, costs)

@@ -98,14 +98,18 @@ def simulate(
 
     ledger = RunLedger()
     for t, requests in enumerate(trace):
-        if max_node is None and requests.size and int(requests.max()) >= substrate.n:
-            raise ValueError(
-                f"round {t} references node {int(requests.max())} but "
-                f"substrate has {substrate.n} nodes"
-            )
+        if max_node is None and requests.size:
+            if int(requests.max()) >= substrate.n:
+                raise ValueError(
+                    f"round {t} references node {int(requests.max())} but "
+                    f"substrate has {substrate.n} nodes"
+                )
+            if int(requests.min()) < 0:
+                raise ValueError(
+                    f"round {t} references negative node {int(requests.min())}"
+                )
         routed = route_requests(
-            substrate, np.asarray(config.active, dtype=np.int64), requests,
-            costs, routing,
+            substrate, config.active_array, requests, costs, routing,
         )
         new_config = policy.decide(t, requests, routed)
         _check_config(new_config, substrate, max_servers, t)
@@ -143,6 +147,12 @@ def _check_config(
         raise ValueError(
             f"{when}: configuration references node {max(occupied)} outside "
             f"the {substrate.n}-node substrate"
+        )
+    if occupied and min(occupied) < 0:
+        # Negative indices would wrap via numpy fancy indexing and silently
+        # route against the substrate's last nodes.
+        raise ValueError(
+            f"{when}: configuration references negative node {min(occupied)}"
         )
     if max_servers is not None and config.n_servers > max_servers:
         raise ValueError(

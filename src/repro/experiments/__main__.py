@@ -1109,7 +1109,13 @@ def cache_command(argv: "list[str]") -> int:
 
 
 class _DenseMapper:
-    """First-appearance dense indices — inspection without a substrate."""
+    """First-appearance dense indices — inspection without a substrate.
+
+    Negative integer keys are rejected rather than remapped: such a log can
+    never replay with ``mapping=none`` (the simulator refuses negative node
+    indices), so hiding them behind dense renumbering would make ``validate``
+    pass on a log that ``run`` rejects.
+    """
 
     name = "dense"
 
@@ -1119,9 +1125,23 @@ class _DenseMapper:
     def __call__(self, key) -> int:
         node = self.assigned.get(key)
         if node is None:
+            try:
+                raw = int(key)
+            except (TypeError, ValueError):
+                raw = 0
+            if raw < 0:
+                raise ValueError(f"negative node key {key!r} in request log")
             node = len(self.assigned)
             self.assigned[key] = node
         return node
+
+
+def _identity_key(key) -> int:
+    """``mapping='none'`` without ``--nodes``: keys must be node indices >= 0."""
+    node = int(key)
+    if node < 0:
+        raise ValueError(f"negative node key {key!r} in request log")
+    return node
 
 
 def build_trace_parser() -> argparse.ArgumentParser:
@@ -1245,7 +1265,7 @@ def trace_command(argv: "list[str]") -> int:
             if args.nodes is not None:
                 mapper = make_mapper(mapping, np.arange(args.nodes), n_nodes=args.nodes)
             else:
-                mapper = int  # mapping == "none": keys already node indices
+                mapper = _identity_key  # mapping == "none": keys already node indices
             rounds = tuple(_trace_rounds(args, mapper, sort=args.sort))
             trace = Trace(
                 rounds,

@@ -159,3 +159,37 @@ class TestConvert:
     def test_trace_command_direct_entry(self, capsys):
         assert trace_command(["validate", SAMPLE]) == 0
         capsys.readouterr()
+
+
+class TestNegativeNodes:
+    def test_validate_flags_negative_node(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("round,node\n0,3\n1,-2\n")
+        assert main(["trace", "validate", str(path)]) == 2
+        assert "negative node key '-2'" in one_line(capsys.readouterr().err)
+
+    def test_validate_negative_json_payload(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("round,node\n0,-7\n")
+        assert main(["trace", "validate", str(path), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "negative node key" in payload["error"]
+
+    def test_validate_accepts_non_integer_keys(self, tmp_path, capsys):
+        # raw string keys (hostnames etc.) are fine — only keys that parse
+        # as negative integers can never replay and are rejected
+        path = tmp_path / "named.csv"
+        path.write_text("round,node\n0,alpha\n0,beta\n")
+        assert main(["trace", "validate", str(path)]) == 0
+        assert "ok: True" in capsys.readouterr().out
+
+    def test_convert_mapping_none_rejects_negative(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("round,node\n0,1\n0,-5\n")
+        out = tmp_path / "out.npz"
+        assert main([
+            "trace", "convert", str(path), "--out", str(out),
+            "--mapping", "none",
+        ]) == 2
+        assert "negative node key" in one_line(capsys.readouterr().err)

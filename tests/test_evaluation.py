@@ -183,3 +183,73 @@ def test_addition_never_increases_access(active, seed, n_rounds):
     base = batch.exact_access_cost(active_arr)
     vector = batch.addition_costs(active_arr)
     assert (vector <= base + 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bounds=st.lists(
+        st.floats(0.0, 1000.0, allow_nan=False), min_size=1, max_size=40
+    ),
+    gaps=st.lists(
+        st.floats(0.0, 50.0, allow_nan=False), min_size=1, max_size=40
+    ),
+    masked=st.sets(st.integers(0, 39)),
+)
+def test_lazy_exact_argmin_bound_soundness(bounds, gaps, masked):
+    """The argmin entry of _lazy_exact_argmin is the true exact minimum.
+
+    Sound whenever bound[u] <= exact(u): the returned array's argmin must be
+    exactly scored and no candidate's exact value may undercut it, even when
+    the bounds order candidates very differently from their exact values.
+    Infinite entries (masked candidates) must never be scored.
+    """
+    size = min(len(bounds), len(gaps))
+    bound = np.asarray(bounds[:size], dtype=np.float64)
+    exact_values = bound + np.asarray(gaps[:size], dtype=np.float64)
+    mask = np.asarray([i in masked for i in range(size)])
+    if mask.all():
+        mask[0] = False
+    bound[mask] = np.inf
+    calls = []
+
+    def exact(u):
+        calls.append(u)
+        assert not mask[u], "scored a masked (infinite-bound) candidate"
+        return float(exact_values[u])
+
+    batch = RequestBatch(line(3, seed=0), CostModel.paper_default(), [])
+    result = batch._lazy_exact_argmin(bound.copy(), exact)
+
+    best = int(np.argmin(result))
+    assert best in calls  # the winner was exactly scored
+    assert result[best] == exact_values[best]
+    finite = ~mask
+    assert result[best] <= exact_values[finite].min() + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    active=st.sets(st.integers(0, 14), min_size=1, max_size=4),
+    seed=st.integers(0, 50),
+)
+def test_addition_argmin_exact_for_convex_load(active, seed):
+    """For the non-invariant QuadraticLoad, addition_costs' argmin entry must
+    equal the exact access cost of that candidate and undercut all others —
+    the lazy-shortlist refinement may leave other entries as lower bounds."""
+    sub = erdos_renyi(15, p=0.3, seed=11)
+    cm = CostModel.paper_default(load=QuadraticLoad())
+    rng = np.random.default_rng(seed)
+    rounds = [rng.integers(0, 15, size=rng.integers(1, 6)) for _ in range(4)]
+    batch = RequestBatch(sub, cm, rounds)
+    active_arr = np.asarray(sorted(active), dtype=np.int64)
+    vector = batch.addition_costs(active_arr)
+    best = int(np.argmin(vector))
+
+    def exact_with(u):
+        if u in set(active_arr.tolist()):
+            return batch.exact_access_cost(active_arr)
+        return batch.exact_access_cost(np.append(active_arr, u))
+
+    assert vector[best] == pytest.approx(exact_with(best))
+    brute_best = min(exact_with(u) for u in range(15))
+    assert vector[best] == pytest.approx(brute_best)

@@ -133,3 +133,45 @@ def test_nearest_is_latency_optimal(servers, requests):
         min(sub.distance(int(a), s) for s in server_list) for a in requests
     )
     assert out.latency_cost == pytest.approx(brute)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    servers=st.sets(st.integers(0, 14), min_size=1, max_size=5),
+    requests=st.lists(st.integers(0, 14), min_size=0, max_size=25),
+)
+def test_load_aware_tie_break_is_lowest_server_index(servers, requests):
+    """The greedy load-aware router is deterministic: at every step it picks
+    the *lowest-indexed* server among those minimising marginal cost, so two
+    identical calls produce bitwise-identical assignments — replicate
+    ledgers must not depend on dict ordering or scan direction."""
+    sub = erdos_renyi(15, p=0.25, seed=13)
+    cm = CostModel.paper_default(load=QuadraticLoad())
+    server_list = sorted(servers)
+    req = np.asarray(requests, dtype=np.int64)
+
+    first = route_requests(
+        sub, server_list, req, cm, RoutingStrategy.LOAD_AWARE
+    )
+    second = route_requests(
+        sub, server_list, req, cm, RoutingStrategy.LOAD_AWARE
+    )
+    np.testing.assert_array_equal(first.assignment, second.assignment)
+    np.testing.assert_array_equal(first.counts, second.counts)
+    assert first.latency_cost == second.latency_cost
+    assert first.load_cost == second.load_cost
+
+    # Replay the greedy loop: each chosen server must minimise the marginal
+    # cost at its step, and every lower-indexed server must be strictly
+    # worse (proving the first-index tie-break).
+    strengths = sub.strengths[server_list]
+    distances = sub.distances[np.ix_(server_list, req)]
+    counts = np.zeros(len(server_list), dtype=np.int64)
+    current = cm.load(strengths, counts)
+    for i, choice in enumerate(first.assignment):
+        bumped = cm.load(strengths, counts + 1)
+        marginal = distances[:, i] + (bumped - current)
+        assert marginal[choice] == marginal.min()
+        assert (marginal[:choice] > marginal[choice]).all()
+        counts[choice] += 1
+        current[choice] = bumped[choice]
