@@ -39,7 +39,12 @@ it runs. This example
     node column, deterministically mapped onto the substrate, cache keys
     tracking the file's content hash), and a ``streaming`` wrapper runs
     any scenario lazily in O(round) memory — the million-round switch —
-    while staying bit-identical to its materialised twin.
+    while staying bit-identical to its materialised twin, and
+12. refines a paired sweep where the *paired* CI straddles its null —
+    the policies' crossing region — with the warm cache re-simulating
+    only the appended midpoints, then renders the sweep as a publishable
+    EXPERIMENTS.md plus a self-contained repro bundle that replays and
+    re-renders byte-identically.
 
 Run:  python examples/declarative_specs.py
 """
@@ -59,10 +64,17 @@ from repro import (
     ScenarioSpec,
     SweepSpec,
     TopologySpec,
+    refine_sweep,
     run_experiment,
     run_sweep,
 )
 from repro.experiments.plotting import render_comparison_chart, render_figure_chart
+from repro.experiments.report import (
+    ReportSection,
+    load_bundle,
+    render_report,
+    write_bundle,
+)
 
 
 def main() -> None:
@@ -319,6 +331,69 @@ def main() -> None:
             "materialised commuter run at horizon 400;\n"
             "  CLI: ... run --scenario replay:path=requests.csv  (or "
             "--scenario streaming:scenario=commuter,sojourn=3)"
+        )
+
+    # 12. Paired-CI-aware refinement + a publishable report. Under a
+    #     ComparisonSpec, refine_sweep bisects exactly the axis intervals
+    #     whose *paired* CI straddles its null (or whose paired mean
+    #     crosses it) — the crossing regions the paper's figures are
+    #     about. Midpoints are appended, so old points keep their seeds
+    #     and per-point cache entries: a pass over the warm cache
+    #     simulates only the new points. render_report/write_bundle then
+    #     turn the sweep into EXPERIMENTS.md plus a repro bundle whose
+    #     specs replay and re-render byte-identically.
+    crossing = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=TopologySpec("erdos_renyi", {"n": 40}),
+            scenario=ScenarioSpec("commuter", {"period": 6}),
+            policies=(
+                PolicySpec("onth", label="ONTH"),
+                PolicySpec("onbr", label="ONBR"),
+            ),
+            horizon=60,
+        ),
+        parameter="scenario.sojourn",
+        values=(2, 9),
+        runs=2,
+        seed=2,
+        figure="example-refine",
+        title="ONTH vs ONBR near their crossing",
+        x_label="λ",
+        comparison=ComparisonSpec(baseline="ONBR"),
+    )
+    with tempfile.TemporaryDirectory() as root:
+        cache_dir = f"{root}/cache"
+        base = run_sweep(crossing, cache=ResultCache(cache_dir))
+        refined_spec, _ = refine_sweep(
+            crossing, base, cache=ResultCache(cache_dir)
+        )
+        added = sorted(set(refined_spec.values) - set(crossing.values))
+        print(
+            f"\npaired refinement bisected at λ={added} (the paired CI "
+            "straddles 0 there); the warm cache re-simulated only those "
+            "midpoints"
+        )
+        final = run_sweep(refined_spec, cache=ResultCache(cache_dir))
+        sections = [ReportSection("crossing", refined_spec, final)]
+        text = render_report(sections, cache=ResultCache(cache_dir))
+        write_bundle(
+            f"{root}/bundle", sections,
+            cache=ResultCache(cache_dir), report_text=text,
+        )
+        _manifest, bundled = load_bundle(f"{root}/bundle")
+        [(key, replay_spec)] = bundled
+        replayed = run_sweep(replay_spec, cache=ResultCache(cache_dir))
+        again = render_report(
+            [ReportSection(key, replay_spec, replayed)],
+            cache=ResultCache(cache_dir),
+        )
+        assert again == text
+        print(
+            f"report: {len(text.splitlines())} markdown lines; bundle "
+            "replayed + re-rendered byte-identically;\n"
+            "  CLI: ... report fig03 --compare ONTH --cache-dir cache/ "
+            "--out EXPERIMENTS.md --bundle bundle/  →  "
+            "run --from-bundle bundle/"
         )
 
 

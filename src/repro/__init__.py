@@ -51,6 +51,8 @@ from repro.api import (
     resolve_policy,
     resolve_scenario,
     resolve_topology,
+    capture_sweeps,
+    collect_point_samples,
     refine_sweep,
     run_experiment,
     run_sweep,
@@ -144,6 +146,8 @@ __all__ = [
     "ProcessPoolBackend",
     "QueueBackend",
     "ResultCache",
+    "capture_sweeps",
+    "collect_point_samples",
     "refine_sweep",
     "run_experiment",
     "run_sweep",

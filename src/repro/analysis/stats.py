@@ -16,6 +16,9 @@ that aggregation in one place:
   per replicate), the difference cancels the trace-to-trace noise both
   policies share, and the paired CI is typically far tighter than either
   marginal one — the classic CRN variance reduction,
+* :func:`comparison_matrix` / :class:`ComparisonMatrix` — every-vs-every
+  paired comparisons of several aligned series at one sweep point, the
+  multi-baseline generalisation of a single :func:`paired_summary`,
 * :func:`average_breakdown` / :func:`average_total` — component-wise
   averaging of cost breakdowns and totals.
 
@@ -39,12 +42,14 @@ from repro.core.results import CostBreakdown, RunResult
 __all__ = [
     "CI_METHODS",
     "COMPARISON_MODES",
+    "ComparisonMatrix",
     "ComparisonSummary",
     "ConfidenceInterval",
     "MeanStderr",
     "PointSummary",
     "average_breakdown",
     "average_total",
+    "comparison_matrix",
     "confidence_interval",
     "mean_stderr",
     "paired_difference_interval",
@@ -488,6 +493,88 @@ def paired_summary(
     )
     return ComparisonSummary(
         mode=mode, mean=stat.mean, stderr=stat.stderr, n=stat.n, ci=ci
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonMatrix:
+    """Every-vs-every paired comparisons of aligned series at one point.
+
+    Row names are contrasts, column names are baselines: ``cells[i][j]``
+    is the :class:`ComparisonSummary` of ``names[i]`` against ``names[j]``
+    (``None`` on the diagonal — a series against itself has no spread).
+    All pairs share the one set of replicates, so every cell benefits from
+    the same common-random-numbers cancellation as a single paired
+    comparison; the matrix is the multi-baseline view a single
+    ``ComparisonSpec`` (one designated baseline) cannot give.
+    """
+
+    mode: str
+    level: float
+    method: str
+    names: "tuple[str, ...]"
+    cells: "tuple[tuple[ComparisonSummary | None, ...], ...]"
+
+    def summary(self, contrast: str, baseline: str) -> ComparisonSummary:
+        """The cell comparing ``contrast`` against ``baseline``."""
+        for name in (contrast, baseline):
+            if name not in self.names:
+                raise KeyError(
+                    f"series {name!r} not in comparison matrix over "
+                    f"{list(self.names)}"
+                )
+        if contrast == baseline:
+            raise KeyError(
+                f"no self-comparison: contrast and baseline are both "
+                f"{contrast!r}"
+            )
+        return self.cells[self.names.index(contrast)][
+            self.names.index(baseline)
+        ]
+
+
+def comparison_matrix(
+    samples: "dict[str, Sequence[float]]",
+    mode: str = "diff",
+    level: float = 0.95,
+    method: str = "t",
+    n_boot: int = DEFAULT_BOOTSTRAP_SAMPLES,
+    seed: int = 0,
+) -> ComparisonMatrix:
+    """Pair every series against every other at one sweep point.
+
+    ``samples`` maps series name → per-replicate values, aligned
+    positionally across series (replicate ``i`` of each series ran on the
+    same trace — the common-random-numbers contract every sweep satisfies
+    by construction). Order is preserved: rows and columns follow the
+    mapping's insertion order. Requires at least two series; misaligned
+    replicate counts are rejected by the underlying pairing.
+    """
+    names = tuple(samples)
+    if len(names) < 2:
+        raise ValueError(
+            "comparison_matrix needs at least two series, got "
+            f"{list(names)}"
+        )
+    cells = tuple(
+        tuple(
+            None
+            if a == b
+            else paired_summary(
+                samples[a],
+                samples[b],
+                mode=mode,
+                level=level,
+                method=method,
+                n_boot=n_boot,
+                seed=seed,
+            )
+            for b in names
+        )
+        for a in names
+    )
+    return ComparisonMatrix(
+        mode=mode, level=level, method=method, names=names, cells=cells
     )
 
 

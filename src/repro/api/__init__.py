@@ -78,6 +78,8 @@ _EXPORTS = {
     # experiment
     "ExperimentResult": "repro.api.experiment",
     "SpecReplicate": "repro.api.experiment",
+    "capture_sweeps": "repro.api.experiment",
+    "collect_point_samples": "repro.api.experiment",
     "refine_sweep": "repro.api.experiment",
     "resolve_series_labels": "repro.api.experiment",
     "run_experiment": "repro.api.experiment",

@@ -535,7 +535,13 @@ class ResultCache:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=1, sort_keys=True)
+                # Insertion order is preserved deliberately (no sort_keys):
+                # a FigureResult's series dict is ordered by policy
+                # declaration, and sorting it here would make a warm load
+                # return columns in a different order than the fresh
+                # computation it memoizes. Payload construction is
+                # deterministic, so file bytes stay reproducible anyway.
+                json.dump(payload, handle, indent=1)
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -28,6 +28,7 @@ after the last simulation without consuming any randomness.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
@@ -53,6 +54,8 @@ from repro.workload.base import generate_trace
 __all__ = [
     "ExperimentResult",
     "SpecReplicate",
+    "capture_sweeps",
+    "collect_point_samples",
     "refine_sweep",
     "resolve_series_labels",
     "run_experiment",
@@ -276,6 +279,42 @@ def _display_x(spec: SweepSpec, result: "FigureResult") -> "FigureResult":
     )
 
 
+#: Active :func:`capture_sweeps` recorders (innermost last). Every completed
+#: :func:`run_sweep` appends its ``(spec, result)`` to each active recorder.
+_SWEEP_OBSERVERS: "list[list]" = []
+
+
+@contextmanager
+def capture_sweeps():
+    """Record every ``(spec, result)`` :func:`run_sweep` completes.
+
+    Figure functions build their :class:`SweepSpec` internally and return
+    only the :class:`FigureResult`; tooling that needs the *spec* that
+    actually ran — the ``report`` subcommand bundling reproducible spec
+    JSONs, provenance captured next to a result — wraps the call::
+
+        with capture_sweeps() as captured:
+            fig03()
+        (spec, result), = captured
+
+    The captured spec is the effective one (``replication``/``comparison``
+    overrides applied), so its cache key matches the entry the run wrote.
+    Recording is additive and observer-transparent: results are returned
+    unchanged, nested captures each see the sweeps run inside their block.
+    """
+    captured: "list[tuple[SweepSpec, FigureResult]]" = []
+    _SWEEP_OBSERVERS.append(captured)
+    try:
+        yield captured
+    finally:
+        _SWEEP_OBSERVERS.remove(captured)
+
+
+def _record_sweep(spec: SweepSpec, result: "FigureResult") -> None:
+    for captured in _SWEEP_OBSERVERS:
+        captured.append((spec, result))
+
+
 def run_sweep(
     spec: SweepSpec,
     backend: "ExecutionBackend | None" = None,
@@ -344,13 +383,6 @@ def run_sweep(
     aggregation is pure arithmetic over the per-replicate samples wherever
     they came from.
     """
-    from repro.experiments.runner import (
-        SeriesValidator,
-        aggregate_samples,
-        spawn_tasks,
-        sweep_experiment,
-    )
-
     if replication is not None:
         if not isinstance(replication, ReplicationSpec):
             replication = ReplicationSpec.from_dict(replication)
@@ -359,6 +391,26 @@ def run_sweep(
         if not isinstance(comparison, ComparisonSpec):
             comparison = ComparisonSpec.from_dict(comparison)
         spec = replace(spec, comparison=comparison)
+
+    result = _execute_sweep(spec, backend, cache, shard, resume)
+    _record_sweep(spec, result)
+    return result
+
+
+def _execute_sweep(
+    spec: SweepSpec,
+    backend: "ExecutionBackend | None",
+    cache: "ResultCache | None",
+    shard: "tuple[int, int] | None",
+    resume: bool,
+) -> "FigureResult":
+    """:func:`run_sweep` after spec normalization (observer-transparent)."""
+    from repro.experiments.runner import (
+        SeriesValidator,
+        aggregate_samples,
+        spawn_tasks,
+        sweep_experiment,
+    )
 
     shard = _normalize_shard(shard)
     if shard is not None and cache is None:
@@ -510,6 +562,74 @@ def run_sweep(
     )
     cache.store(spec, result)
     return result
+
+
+def collect_point_samples(
+    spec: SweepSpec,
+    backend: "ExecutionBackend | None" = None,
+    cache: "ResultCache | None" = None,
+    resume: bool = True,
+) -> "list[list[Mapping[str, float]]]":
+    """The raw initial replicate block behind every sweep point.
+
+    Returns, per sweep point, the point's first ``spec.effective_runs``
+    replicate samples (``{series: value}`` dicts) — the same blocks
+    :func:`run_sweep` simulates in its first phase, with the same flat
+    seeds and the same per-point cache entries, so a call over the cache
+    of a completed sweep loads everything and simulates nothing. Missing
+    blocks are simulated (and stored, when ``cache`` and ``resume`` allow)
+    so the result is always complete.
+
+    This is the sample-level feed of
+    :func:`repro.analysis.stats.comparison_matrix`: every-vs-every paired
+    comparisons need the aligned per-replicate values, which an aggregated
+    :class:`FigureResult` no longer carries.
+    """
+    from repro.experiments.runner import SeriesValidator, spawn_tasks
+
+    runs = spec.effective_runs
+    x_values = list(spec.values)
+    point_specs = [spec.experiment_at(x) for x in x_values]
+    use_points = cache is not None and resume
+
+    samples: "list[list[Mapping[str, float]] | None]" = [None] * len(x_values)
+    pending: "list[int]" = []
+    for i in range(len(x_values)):
+        block = (
+            cache.load_point(point_specs[i], spec.seed, i * runs, runs)
+            if use_points
+            else None
+        )
+        if block is not None:
+            samples[i] = list(block)
+        else:
+            pending.append(i)
+
+    if pending:
+        if backend is None:
+            backend = SerialBackend()
+        tasks = spawn_tasks(x_values, runs, spec.seed)
+
+        def point_commit(i: int):
+            def commit(block) -> None:
+                samples[i] = list(block)
+                if use_points:
+                    cache.store_point(
+                        point_specs[i], spec.seed, i * runs, runs, block
+                    )
+
+            return commit
+
+        _run_batched(
+            backend,
+            SpecReplicate(spec),
+            [
+                (tasks[i * runs : (i + 1) * runs], point_commit(i))
+                for i in pending
+            ],
+            SeriesValidator(runs),
+        )
+    return samples
 
 
 def _run_batched(backend, replicate, spans, validator) -> None:
@@ -753,10 +873,14 @@ def _series_halfwidths(
 ) -> "dict[str, tuple]":
     """Per-series, per-point CI halfwidths of ``result``.
 
-    Stored CI bounds are used when present; otherwise halfwidths are
-    derived from the standard errors with a Student-t critical value at
-    ``level`` (every point of a plain sweep has ``spec.effective_runs``
-    replicates).
+    Stored CI bounds are used when present — they already carry the CI
+    method the spec's :class:`ReplicationSpec` declared (Student-t or BCa
+    bootstrap), so no estimator is re-imposed here. Only a plain sweep
+    with no CI annotations at all falls back to deriving halfwidths from
+    the standard errors with a Student-t critical value at ``level``
+    (every point of a plain sweep has ``spec.effective_runs`` replicates;
+    stderr admits no bootstrap, so Student-t is the only estimator
+    available to the fallback).
     """
     if result.has_confidence:
         return {
@@ -815,6 +939,43 @@ def _ambiguous_intervals(
     return intervals
 
 
+def _paired_ambiguous_intervals(result: "FigureResult") -> "list[tuple]":
+    """Adjacent x intervals whose *paired* CIs leave an ordering open.
+
+    The comparison-aware twin of :func:`_ambiguous_intervals`: for every
+    adjacent pair of sweep points (in x order) and every attached paired
+    comparison, the contrast-vs-baseline ordering is *settled* over the
+    interval iff the paired CI excludes its null (0 for differences, 1
+    for ratios) at both endpoints with the paired mean on the same side
+    of the null. A paired CI straddling the null at either endpoint, or
+    the paired mean crossing the null between the endpoints (the
+    contrast's cost curve crosses the baseline's), marks the interval for
+    bisection. The stored paired bounds were computed with the
+    :class:`ComparisonSpec`'s own CI method and level — Student-t or BCa
+    bootstrap — so that choice threads through unchanged.
+    """
+    xs = result.x_values
+    order = sorted(range(len(xs)), key=lambda i: xs[i])
+    intervals = []
+    for position in range(len(order) - 1):
+        k0, k1 = order[position], order[position + 1]
+        ambiguous = False
+        for comparison in result.comparisons:
+            null = comparison.null
+            low0, high0 = comparison.ci[k0]
+            low1, high1 = comparison.ci[k1]
+            straddles = low0 <= null <= high0 or low1 <= null <= high1
+            flips = (comparison.values[k0] > null) != (
+                comparison.values[k1] > null
+            )
+            if straddles or flips:
+                ambiguous = True
+                break
+        if ambiguous:
+            intervals.append((xs[k0], xs[k1]))
+    return intervals
+
+
 def _midpoint(x0, x1, min_spacing: "float | None"):
     """The bisection point of ``[x0, x1]``, or ``None`` if too narrow.
 
@@ -864,6 +1025,72 @@ def _sorted_by_x(result: "FigureResult") -> "FigureResult":
     )
 
 
+def _check_result_matches(spec: SweepSpec, result: "FigureResult") -> None:
+    """Structurally verify that ``result`` is a complete result of ``spec``.
+
+    Refinement decides where to spend simulation budget from ``result``'s
+    intervals, so silently accepting a result computed from some *other*
+    spec — a different grid, different policies, with or without paired
+    comparisons — would bisect the wrong intervals while looking
+    perfectly healthy. Every mismatch raises a :class:`ValueError` naming
+    what disagrees.
+    """
+    grid = set(spec.values)
+    foreign = [x for x in result.x_values if x not in grid]
+    if foreign:
+        raise ValueError(
+            "refine_sweep got a result that does not belong to the spec: "
+            f"result x values {sorted(foreign)} are not on the spec's "
+            f"grid {sorted(grid)}"
+        )
+    if len(set(result.x_values)) < len(grid):
+        raise ValueError(
+            "refine_sweep needs a complete sweep result covering every "
+            f"grid point ({len(set(result.x_values))}/{len(grid)} "
+            "present); assemble a sharded sweep first by rerunning "
+            "without shard"
+        )
+    if all(
+        m.kind == "total_cost" and m.label is None
+        for m in spec.experiment.metrics
+    ):
+        # With the default metric the series are exactly the policy
+        # labels; metric-derived series names only exist after simulating.
+        expected = set(resolve_series_labels(spec.experiment))
+        if set(result.series_names) != expected:
+            raise ValueError(
+                "refine_sweep got a result whose series "
+                f"{sorted(result.series_names)} do not match the spec's "
+                f"policy labels {sorted(expected)}; the result belongs to "
+                "a different experiment"
+            )
+    if spec.comparison is not None and not result.has_comparisons:
+        raise ValueError(
+            "refine_sweep got a result without paired-comparison payloads "
+            "for a spec that declares a ComparisonSpec; recompute it with "
+            "run_sweep(spec) so paired CIs exist to bisect on"
+        )
+    if spec.comparison is None and result.has_comparisons:
+        raise ValueError(
+            "refine_sweep got a result carrying paired comparisons for a "
+            "spec without a ComparisonSpec; the result belongs to a "
+            "different (comparison-bearing) spec"
+        )
+    if spec.comparison is not None:
+        first = result.comparisons[0]
+        if (
+            first.baseline != spec.comparison.baseline
+            or first.mode != spec.comparison.mode
+        ):
+            raise ValueError(
+                "refine_sweep got a result whose paired comparisons "
+                f"({first.contrast!r} vs {first.baseline!r}, mode "
+                f"{first.mode!r}) do not match the spec's ComparisonSpec "
+                f"(baseline {spec.comparison.baseline!r}, mode "
+                f"{spec.comparison.mode!r})"
+            )
+
+
 def refine_sweep(
     spec: SweepSpec,
     result: "FigureResult | None" = None,
@@ -880,28 +1107,45 @@ def refine_sweep(
     Paper figures ask *which policy wins where* — crossings and near-ties
     are exactly where a coarse grid misleads. ``refine_sweep`` finds every
     adjacent x interval whose endpoint confidence intervals fail to settle
-    some pair of series (overlap, or a sign flip of the difference),
-    bisects those intervals, and re-runs the sweep with the midpoints
-    *appended* to the value grid. Appending keeps every existing point's
-    index — hence its replicate seeds and cache entries — stable, so a
-    refinement pass over a warm ``cache`` simulates **only the new
+    some ordering, bisects those intervals, and re-runs the sweep with the
+    midpoints *appended* to the value grid. Appending keeps every existing
+    point's index — hence its replicate seeds and cache entries — stable,
+    so a refinement pass over a warm ``cache`` simulates **only the new
     points**; existing ones load from the per-point entries. The process
     repeats up to ``rounds`` times or until ``max_new_points`` total new
     points were added or every ordering is settled.
+
+    Which intervals count as open depends on the spec. With a
+    :class:`~repro.api.specs.ComparisonSpec` the decision uses the
+    *paired* contrast-vs-baseline CIs (common random numbers — typically
+    far tighter than the marginal ones): an interval is bisected iff some
+    paired CI straddles its null (0 for differences, 1 for ratios) at an
+    endpoint, or the paired mean crosses the null between the endpoints.
+    Comparison-free sweeps fall back to the marginal criterion — series
+    CIs overlapping at an endpoint, or their difference flipping sign.
+    Either way the stored CI bounds carry the CI method the spec declared
+    (Student-t or BCa bootstrap); nothing is re-estimated here.
 
     Args:
         spec: the sweep to refine; must sweep one scalar parameter over
             numeric values (coupled and single-point sweeps cannot be
             bisected).
         result: a previously computed result of exactly ``spec`` (e.g.
-            from :func:`run_sweep`); computed fresh when ``None``.
+            from :func:`run_sweep`); computed fresh when ``None``. A
+            result that does not structurally match the spec — x values
+            off the grid, missing points, different series or comparison
+            payloads — is rejected with a :class:`ValueError`.
         backend/cache/resume: forwarded to :func:`run_sweep`; pass the
             cache used for the original sweep to avoid recomputing it.
         rounds: refinement iterations (each re-examines the refined grid).
         max_new_points: total budget of inserted points across rounds.
-        min_spacing: skip intervals at or below this width.
+        min_spacing: skip intervals at or below this width, and never
+            insert a midpoint within this distance of *any* existing grid
+            value (so repeated rounds cannot burn the budget on
+            near-duplicate points).
         ci_level: confidence level for halfwidths derived from standard
-            errors when ``result`` carries no CI annotations.
+            errors when a comparison-free ``result`` carries no CI
+            annotations.
 
     Returns:
         ``(refined_spec, refined_result)`` — the spec with the appended
@@ -927,26 +1171,31 @@ def refine_sweep(
 
     if result is None:
         result = run_sweep(spec, backend=backend, cache=cache, resume=resume)
-    if "partial" in result.notes and len(result.x_values) < len(spec.values):
-        raise ValueError(
-            "refine_sweep needs a complete sweep result; assemble the "
-            "shards first by rerunning without shard"
-        )
+    _check_result_matches(spec, result)
 
     added = 0
     for _round in range(rounds):
-        if len(result.series_names) < 2:
-            break  # one series has no orderings to separate
-        halfwidths = _series_halfwidths(result, spec, ci_level)
+        if spec.comparison is not None:
+            intervals = _paired_ambiguous_intervals(result)
+        else:
+            if len(result.series_names) < 2:
+                break  # one series has no orderings to separate
+            halfwidths = _series_halfwidths(result, spec, ci_level)
+            intervals = _ambiguous_intervals(result, halfwidths)
         existing = set(spec.values)
         new_values = []
-        for x0, x1 in _ambiguous_intervals(result, halfwidths):
+        for x0, x1 in intervals:
             if added + len(new_values) >= max_new_points:
                 break
             mid = _midpoint(x0, x1, min_spacing)
-            if mid is not None and mid not in existing:
-                new_values.append(mid)
-                existing.add(mid)
+            if mid is None or mid in existing:
+                continue
+            if min_spacing is not None and any(
+                abs(mid - value) <= min_spacing for value in existing
+            ):
+                continue
+            new_values.append(mid)
+            existing.add(mid)
         if not new_values:
             break
         spec = replace(spec, values=spec.values + tuple(new_values))

@@ -86,6 +86,7 @@ import inspect
 import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -667,6 +668,7 @@ _SUBCOMMANDS = {
     "enqueue": lambda argv: enqueue_command(argv),
     "worker": lambda argv: worker_command(argv),
     "serve": lambda argv: serve_command(argv),
+    "report": lambda argv: report_command(argv),
 }
 
 
@@ -745,12 +747,16 @@ def _lookup_figure(name: str) -> str:
     raise UnknownNameError("figure", name, tuple(sorted(_REGISTRY)))
 
 
-def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
-    """Run one figure; returns the JSON payload when ``--json`` is active."""
+def _figure_kwargs(key: str, args, cache) -> "dict":
+    """The keyword arguments one figure function takes from CLI flags.
+
+    Shared between the figure mode and the ``report`` subcommand so both
+    thread seed/runs/backend/cache/replication/comparison identically;
+    flags a figure does not accept are noted on stderr and dropped.
+    """
     fn, quick = _REGISTRY[key]
     kwargs = {} if args.paper else dict(quick)
     accepted = set(inspect.signature(fn).parameters)
-    cache = _cache_for(args)
     for flag, option, value in (
         ("seed", "seed", args.seed),
         ("runs", "runs", args.runs),
@@ -767,6 +773,14 @@ def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
         else:
             print(f"note: {key} does not take --{option}; ignored",
                   file=sys.stderr)
+    return kwargs
+
+
+def _run_one(key: str, args, emit_json: bool = True) -> "dict | None":
+    """Run one figure; returns the JSON payload when ``--json`` is active."""
+    fn, _quick = _REGISTRY[key]
+    cache = _cache_for(args)
+    kwargs = _figure_kwargs(key, args, cache)
 
     started = time.perf_counter()
     result = fn(**kwargs)
@@ -952,9 +966,103 @@ def _validated_spec(args) -> SweepSpec:
     return spec
 
 
+def build_from_bundle_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments run --from-bundle",
+        description=(
+            "Replay every SweepSpec of a repro bundle (written by the "
+            "'report' subcommand's --bundle flag) through run_sweep. With "
+            "the warm cache the report ran over, nothing re-simulates and "
+            "the results are bit-identical to the bundled report."
+        ),
+    )
+    parser.add_argument(
+        "--from-bundle", dest="from_bundle", required=True, metavar="DIR",
+        help="bundle directory holding MANIFEST.json + specs/*.json",
+    )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=None,
+        help="run replicates on N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--queue", type=_parse_queue, default=None, metavar="PATH",
+        help="run replicates through the work queue at PATH",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON array with every replayed result (+ its spec)",
+    )
+    _add_cache_flags(parser)
+    parser.add_argument(
+        "--resume", dest="resume", action="store_true", default=True,
+        help="reuse per-point cache entries (the default)",
+    )
+    parser.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="all-or-nothing caching: ignore per-point entries",
+    )
+    return parser
+
+
+def _run_from_bundle(argv: "list[str]") -> int:
+    """``run --from-bundle DIR``: replay a repro bundle's sweeps."""
+    from repro.api.cache import _code_fingerprint
+    from repro.api.experiment import run_sweep
+    from repro.experiments.report import load_bundle
+
+    args = build_from_bundle_parser().parse_args(argv)
+    if args.shard is not None:
+        print(
+            "error: bundle replay renders complete sweeps; --shard is not "
+            "supported here",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        _validate_backend_args(args)
+        manifest, pairs = load_bundle(args.from_bundle)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    fingerprint = manifest.get("environment", {}).get("code_fingerprint")
+    if fingerprint is not None and fingerprint != _code_fingerprint():
+        print(
+            "note: the bundle was built from different package sources "
+            "(code fingerprint mismatch); sweeps recompute from the "
+            "current code instead of loading the bundled cache keys",
+            file=sys.stderr,
+        )
+
+    cache = _cache_for(args)
+    backend = _backend_from_args(args)
+    payloads = []
+    for i, (key, spec) in enumerate(pairs):
+        result = run_sweep(
+            spec, backend=backend, cache=cache, resume=args.resume
+        )
+        if args.json:
+            payload = result.to_dict()
+            payload["key"] = key
+            payload["spec"] = spec.to_dict()
+            payloads.append(payload)
+        else:
+            if i:
+                print()
+            print(format_figure(result))
+    if args.json:
+        print(json.dumps(payloads, indent=2))
+    else:
+        print(f"\nreplayed {len(pairs)} sweeps from {args.from_bundle}")
+    return 0
+
+
 def run_command(argv: "list[str]") -> int:
     """Entry point of ``python -m repro.experiments run ...``."""
     from repro.api.experiment import run_sweep
+
+    if "--from-bundle" in argv:
+        return _run_from_bundle(argv)
 
     args = build_run_parser().parse_args(argv)
     if args.shard is not None and _cache_for(args) is None:
@@ -1030,6 +1138,187 @@ def run_command(argv: "list[str]") -> int:
     else:
         backend_label = "serial"
     print(f"  ({elapsed:.1f}s, backend={backend_label})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# The `report` subcommand: publishable EXPERIMENTS.md + repro bundles
+# ---------------------------------------------------------------------------
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report",
+        description=(
+            "Render a publishable EXPERIMENTS.md: each requested figure as "
+            "a CI-annotated table plus chart, paired-comparison columns and "
+            "an every-vs-every paired comparison matrix, replicate counts, "
+            "cache provenance and environment capture. --bundle DIR "
+            "additionally writes a self-contained repro bundle (spec JSONs "
+            "+ cache manifest + versions) that 'run --from-bundle DIR' "
+            "replays and 'report --from-bundle DIR' re-renders — "
+            "byte-identically from the same warm cache."
+        ),
+    )
+    parser.add_argument(
+        "figures", nargs="*", metavar="FIGURE",
+        help="figure ids to render (fig01..fig19, rocketfuel, abl-*)",
+    )
+    parser.add_argument(
+        "--paper", action="store_true",
+        help="use the exact caption parameters instead of the quick scale",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+    parser.add_argument(
+        "--runs", type=_positive_int, default=None,
+        help="override the replicate count per sweep point",
+    )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=None,
+        help="run sweep replicates on N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--queue", type=_parse_queue, default=None, metavar="PATH",
+        help="run sweep replicates through the work queue at PATH",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the markdown to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--bundle", default=None, metavar="DIR",
+        help=(
+            "also write a self-contained repro bundle under DIR: "
+            "MANIFEST.json (environment + cache manifest), specs/*.json "
+            "and the rendered EXPERIMENTS.md"
+        ),
+    )
+    parser.add_argument(
+        "--from-bundle", dest="from_bundle", default=None, metavar="DIR",
+        help=(
+            "re-render from a bundle's spec JSONs instead of figure ids "
+            "(byte-identical from the same warm cache)"
+        ),
+    )
+    parser.add_argument(
+        "--no-matrices", dest="matrices", action="store_false", default=True,
+        help="skip the per-figure paired comparison matrices",
+    )
+    _add_cache_flags(parser)
+    _add_confidence_flags(parser)
+    return parser
+
+
+def report_command(argv: "list[str]") -> int:
+    """Entry point of ``python -m repro.experiments report ...``."""
+    from repro.api.experiment import capture_sweeps, run_sweep
+    from repro.experiments.report import (
+        ReportSection,
+        capture_environment,
+        load_bundle,
+        render_report,
+        write_bundle,
+    )
+
+    args = build_report_parser().parse_args(argv)
+    if args.shard is not None:
+        print(
+            "error: reports render complete figures; run the shards first, "
+            "then report without --shard over the shared cache",
+            file=sys.stderr,
+        )
+        return 2
+    if args.from_bundle and args.figures:
+        print(
+            "error: --from-bundle re-renders the bundled specs; figure ids "
+            "cannot be combined with it",
+            file=sys.stderr,
+        )
+        return 2
+    if args.from_bundle and args.bundle:
+        print(
+            "error: --bundle cannot be combined with --from-bundle (that "
+            "bundle already exists)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.from_bundle and not args.figures:
+        print(
+            "error: name at least one figure to report, or --from-bundle "
+            "DIR",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        _validate_backend_args(args)
+        _validate_confidence_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    cache = _cache_for(args)
+    backend = _backend_from_args(args)
+    sections = []
+    try:
+        if args.from_bundle:
+            _manifest, pairs = load_bundle(args.from_bundle)
+            for key, spec in pairs:
+                result = run_sweep(spec, backend=backend, cache=cache)
+                sections.append(ReportSection(key, spec, result))
+        else:
+            keys = [_lookup_figure(name) for name in args.figures]
+            for key in keys:
+                _validate_figure_replication(key, args)
+            for key in keys:
+                fn, _quick = _REGISTRY[key]
+                kwargs = _figure_kwargs(key, args, cache)
+                with capture_sweeps() as captured:
+                    fn(**kwargs)
+                if not captured:
+                    print(
+                        f"note: {key} runs no sweeps; skipped",
+                        file=sys.stderr,
+                    )
+                    continue
+                for index, (spec, result) in enumerate(captured):
+                    section_key = (
+                        key if len(captured) == 1 else f"{key}-{index + 1}"
+                    )
+                    sections.append(ReportSection(section_key, spec, result))
+    except (UnknownNameError, ComparisonSeriesError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not sections:
+        print("error: nothing to report (no sweeps ran)", file=sys.stderr)
+        return 2
+
+    environment = capture_environment()
+    text = render_report(
+        sections,
+        cache=cache,
+        backend=backend,
+        environment=environment,
+        matrices=args.matrices,
+    )
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(sections)} sections)", file=sys.stderr)
+    else:
+        print(text, end="")
+    if args.bundle:
+        manifest_path = write_bundle(
+            args.bundle,
+            sections,
+            cache=cache,
+            environment=environment,
+            report_text=text,
+        )
+        print(
+            f"wrote repro bundle under {manifest_path.parent}",
+            file=sys.stderr,
+        )
     return 0
 
 

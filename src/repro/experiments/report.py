@@ -1,0 +1,378 @@
+"""Publishable experiment reports and self-contained repro bundles.
+
+The ``report`` subcommand of ``python -m repro.experiments`` renders a
+full ``EXPERIMENTS.md`` — every requested figure as a CI-annotated table,
+an ASCII chart with confidence bands, paired-comparison columns, an
+every-vs-every paired comparison matrix, replicate counts, cache
+provenance and environment capture — and, with ``--bundle DIR``, writes a
+self-contained repro bundle next to it:
+
+``MANIFEST.json``
+    environment + version capture, the figure list, and a manifest of
+    every cache entry (relative path, size, sha256) the report ran over.
+``specs/<key>.json``
+    one JSON :class:`~repro.api.specs.SweepSpec` per rendered sweep — the
+    *complete* input of the computation, so ``run --from-bundle DIR``
+    replays the exact experiments and ``report --from-bundle DIR``
+    re-renders the exact document.
+``EXPERIMENTS.md``
+    the rendered report itself.
+
+Everything here is deterministic by construction: no timestamps, no
+elapsed times, stable JSON key order — rendering twice from the same warm
+cache (or once fresh and once from the bundle) is byte-identical, which
+CI gates on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+import repro
+from repro.analysis.stats import comparison_matrix
+from repro.api.cache import CACHE_SCHEMA, ResultCache, _code_fingerprint
+from repro.api.experiment import collect_point_samples
+from repro.api.specs import SweepSpec
+from repro.experiments.reporting import (
+    format_comparison_matrix,
+    format_figure,
+)
+from repro.experiments.runner import FigureResult
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "ReportSection",
+    "capture_environment",
+    "load_bundle",
+    "render_report",
+    "write_bundle",
+]
+
+#: Version of the bundle layout; bumped on incompatible changes.
+BUNDLE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One rendered sweep: its key, the spec that ran, and its result."""
+
+    key: str
+    spec: SweepSpec
+    result: FigureResult
+
+
+def capture_environment() -> "dict[str, object]":
+    """The reproducibility-relevant facts of the executing environment.
+
+    Everything that participates in cache keys or could change results:
+    interpreter, numpy, the package version and the sha256 fingerprint of
+    its sources. Deliberately excludes anything time-valued so reports
+    stay byte-stable across re-renders on one machine.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "repro": repro.__version__,
+        "code_fingerprint": _code_fingerprint(),
+        "cache_schema": CACHE_SCHEMA,
+    }
+
+
+def _matrix_index(spec: SweepSpec) -> int:
+    """The sweep point the comparison matrix is computed at.
+
+    The largest numeric x — where the paper's sweeps separate policies the
+    most — falling back to the last grid point for non-numeric axes.
+    """
+    values = spec.values
+    if all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in values
+    ):
+        return max(range(len(values)), key=lambda i: (values[i], i))
+    return len(values) - 1
+
+
+def _section_matrix(
+    section: ReportSection,
+    cache: "ResultCache | None",
+    backend=None,
+) -> "str | None":
+    """The rendered paired-comparison matrix of one section, if possible.
+
+    Needs at least two series and the raw per-replicate samples (loaded
+    from the warm per-point cache, simulated only when missing). Mode,
+    level and CI method follow the spec's :class:`ComparisonSpec` when it
+    has one, defaulting to 95% Student-t differences.
+    """
+    result = section.result
+    if len(result.series_names) < 2:
+        return None
+    spec = section.spec
+    index = _matrix_index(spec)
+    block = collect_point_samples(spec, backend=backend, cache=cache)[index]
+    samples = {
+        name: [replicate[name] for replicate in block]
+        for name in result.series_names
+    }
+    comparison = spec.comparison
+    matrix = comparison_matrix(
+        samples,
+        mode=comparison.mode if comparison else "diff",
+        level=comparison.ci_level if comparison else 0.95,
+        method=comparison.method if comparison else "t",
+    )
+    return format_comparison_matrix(
+        matrix,
+        x=spec.display_x(spec.values[index]),
+        x_label=result.x_label,
+    )
+
+
+def _replication_line(section: ReportSection) -> str:
+    """One bullet summarising how many replicates stand behind each point."""
+    result = section.result
+    spec = section.spec
+    if result.counts:
+        rep = spec.replication
+        low, high = min(result.counts), max(result.counts)
+        runs = f"{low}" if low == high else f"{low}-{high}"
+        line = (
+            f"replicates: {runs} per point ({sum(result.counts)} total), "
+            f"{result.ci_level:.0%} {rep.method if rep else 't'} CIs"
+        )
+        if rep is not None and rep.adaptive:
+            line += " (adaptive)"
+        return line
+    return f"replicates: {spec.effective_runs} per point (fixed)"
+
+
+def _comparison_line(section: ReportSection) -> "str | None":
+    """One bullet naming the paired baseline and how settled the sweep is."""
+    result = section.result
+    if not result.has_comparisons:
+        return None
+    first = result.comparisons[0]
+    decisive = 0
+    points = 0
+    for comparison in result.comparisons:
+        for summary in comparison.summaries():
+            points += 1
+            decisive += bool(summary.decisive)
+    mode = "Δ = contrast − baseline" if first.mode == "diff" else \
+        "ratio = contrast / baseline"
+    return (
+        f"paired vs {first.baseline} ({mode}, {first.level:.0%} CIs): "
+        f"{decisive}/{points} point comparisons decisive"
+    )
+
+
+def _fence(text: str) -> str:
+    return f"```text\n{text}\n```"
+
+
+def render_report(
+    sections: Sequence[ReportSection],
+    cache: "ResultCache | None" = None,
+    backend=None,
+    environment: "dict | None" = None,
+    matrices: bool = True,
+) -> str:
+    """Render ``sections`` as the full EXPERIMENTS.md markdown document.
+
+    Deterministic for a fixed environment and warm cache: the document
+    contains no timestamps and every number is a pure function of the
+    specs. ``matrices`` adds, per multi-series figure, the every-vs-every
+    paired comparison matrix at the sweep's largest x (computing it needs
+    the raw per-replicate samples; with a warm ``cache`` nothing
+    re-simulates).
+    """
+    environment = dict(environment or capture_environment())
+    lines: "list[str]" = [
+        "# Experiment report",
+        "",
+        "Reproduction of *On the Benefit of Virtualization: Strategies for "
+        "Flexible Server Allocation* (NSDI 2011). Rendered by "
+        "`repro-experiments report`; every figure below is computed from a "
+        "declarative `SweepSpec` (bundled as JSON alongside this document "
+        "when `--bundle` is used), so the report is deterministic: "
+        "re-rendering from the same cache is byte-identical.",
+        "",
+        "## Environment",
+        "",
+        "| field | value |",
+        "| --- | --- |",
+    ]
+    for field_name, value in environment.items():
+        shown = value
+        if field_name == "code_fingerprint":
+            shown = f"`{str(value)[:16]}…`"
+        lines.append(f"| {field_name} | {shown} |")
+    lines.append("")
+
+    for section in sections:
+        result = section.result
+        lines += ["", f"## {section.key} — {result.title}", ""]
+        lines += [_fence(format_figure(result)), ""]
+        if len(result.x_values) >= 2:
+            from repro.experiments.plotting import render_figure_chart
+
+            lines += [_fence(render_figure_chart(result)), ""]
+
+        bullets = [
+            f"grid: {len(result.x_values)} × {result.x_label} "
+            f"∈ [{result.x_values[0]}, {result.x_values[-1]}]",
+            _replication_line(section),
+        ]
+        comparison_line = _comparison_line(section)
+        if comparison_line:
+            bullets.append(comparison_line)
+        bullets.append(f"seed: {section.spec.seed}")
+        if cache is not None:
+            bullets.append(
+                f"cache provenance: sweep key `{cache.key_for(section.spec)}`"
+            )
+        lines += [f"- {bullet}" for bullet in bullets]
+        lines.append("")
+
+        if matrices:
+            rendered = _section_matrix(section, cache, backend=backend)
+            if rendered is not None:
+                lines += [
+                    f"### Paired comparison matrix — {section.key}",
+                    "",
+                    _fence(rendered),
+                    "",
+                ]
+
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _cache_manifest(cache: "ResultCache | None") -> "dict | None":
+    """Relative path, size and sha256 of every cache entry on disk."""
+    if cache is None:
+        return None
+    entries = []
+    for path in cache.entries():
+        entries.append(
+            {
+                "path": str(path.relative_to(cache.root)),
+                "bytes": path.stat().st_size,
+                "sha256": _sha256(path),
+            }
+        )
+    stats = cache.stats()
+    return {
+        "entries": entries,
+        "count": stats["entries"],
+        "bytes": stats["bytes"],
+        "kinds": stats["kinds"],
+    }
+
+
+def _dump(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_bundle(
+    root: "str | Path",
+    sections: Sequence[ReportSection],
+    cache: "ResultCache | None" = None,
+    environment: "dict | None" = None,
+    report_text: "str | None" = None,
+) -> Path:
+    """Write a self-contained repro bundle under ``root``.
+
+    The bundle holds everything needed to replay and re-render the report:
+    one spec JSON per section (``specs/<key>.json``), a ``MANIFEST.json``
+    with the environment/version capture and a sha256 manifest of the
+    cache entries the report ran over, and the rendered ``EXPERIMENTS.md``
+    itself when ``report_text`` is given. Returns the manifest path.
+    """
+    root = Path(root)
+    (root / "specs").mkdir(parents=True, exist_ok=True)
+    figures = []
+    for section in sections:
+        spec_rel = f"specs/{section.key}.json"
+        payload = {
+            "schema": BUNDLE_SCHEMA,
+            "key": section.key,
+            "sweep": section.spec.to_dict(),
+        }
+        (root / spec_rel).write_text(_dump(payload))
+        entry = {
+            "key": section.key,
+            "spec": spec_rel,
+            "figure": section.result.figure,
+            "title": section.result.title,
+            "points": len(section.result.x_values),
+            "series": list(section.result.series_names),
+        }
+        if cache is not None:
+            entry["cache_key"] = cache.key_for(section.spec)
+        figures.append(entry)
+
+    manifest = {
+        "schema": BUNDLE_SCHEMA,
+        "tool": "repro-experiments report",
+        "environment": dict(environment or capture_environment()),
+        "figures": figures,
+        "cache": _cache_manifest(cache),
+    }
+    manifest_path = root / "MANIFEST.json"
+    manifest_path.write_text(_dump(manifest))
+    if report_text is not None:
+        (root / "EXPERIMENTS.md").write_text(report_text)
+    return manifest_path
+
+
+def load_bundle(
+    root: "str | Path",
+) -> "tuple[dict, list[tuple[str, SweepSpec]]]":
+    """Read a bundle back: its manifest and the ``(key, spec)`` pairs.
+
+    The inverse of :func:`write_bundle` as far as replaying goes:
+    ``run --from-bundle`` and ``report --from-bundle`` feed the returned
+    specs straight to :func:`~repro.api.experiment.run_sweep`. Raises
+    :class:`ValueError` on a missing manifest, wrong schema, or a spec
+    file that does not match its manifest entry.
+    """
+    root = Path(root)
+    manifest_path = root / "MANIFEST.json"
+    if not manifest_path.is_file():
+        raise ValueError(f"no repro bundle at {root}: MANIFEST.json missing")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("schema") != BUNDLE_SCHEMA:
+        raise ValueError(
+            f"unsupported bundle schema {manifest.get('schema')!r} "
+            f"(this version reads schema {BUNDLE_SCHEMA})"
+        )
+    specs: "list[tuple[str, SweepSpec]]" = []
+    for entry in manifest.get("figures", ()):
+        spec_path = root / entry["spec"]
+        if not spec_path.is_file():
+            raise ValueError(
+                f"bundle manifest names {entry['spec']!r} but the file is "
+                "missing"
+            )
+        payload = json.loads(spec_path.read_text())
+        if payload.get("key") != entry["key"]:
+            raise ValueError(
+                f"bundle spec {entry['spec']!r} holds key "
+                f"{payload.get('key')!r}, manifest says {entry['key']!r}"
+            )
+        specs.append((entry["key"], SweepSpec.from_dict(payload["sweep"])))
+    return manifest, specs

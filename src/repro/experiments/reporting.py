@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.stats import ComparisonMatrix
 from repro.experiments.runner import FigureResult
 
-__all__ = ["format_table", "format_figure"]
+__all__ = ["format_table", "format_figure", "format_comparison_matrix"]
 
 
 def format_table(
@@ -61,6 +62,49 @@ def comparison_header(comparison) -> str:
     if comparison.mode == "diff":
         return f"Δ {comparison.contrast}"
     return f"{comparison.contrast}/{comparison.baseline}"
+
+
+def format_comparison_matrix(
+    matrix: ComparisonMatrix, x: object = None, x_label: str = "x"
+) -> str:
+    """Render a :class:`~repro.analysis.stats.ComparisonMatrix` as a table.
+
+    Rows are contrasts, columns are baselines: each cell holds the paired
+    mean of *row vs column* (difference or ratio per the matrix mode) ±
+    its CI halfwidth, starred when the interval excludes the null — the
+    ordering of the two series is settled at the matrix's level. The
+    diagonal (a series against itself) is blank. Pass the sweep point's
+    ``x``/``x_label`` to say where the replicates came from.
+    """
+    headers: "list[object]" = ["vs", *matrix.names]
+    rows = []
+    counts = set()
+    for i, name in enumerate(matrix.names):
+        row: "list[object]" = [name]
+        for cell in matrix.cells[i]:
+            if cell is None:
+                row.append("·")
+            else:
+                star = "*" if cell.decisive else ""
+                row.append(
+                    f"{_cell(float(cell.mean))} "
+                    f"±{_cell(float(cell.halfwidth))}{star}"
+                )
+                counts.add(cell.n)
+        rows.append(row)
+
+    where = f" at {x_label} = {_cell(x)}" if x is not None else ""
+    n = f"{min(counts)}" if len(counts) == 1 else f"{min(counts)}-{max(counts)}"
+    title = f"paired comparison matrix{where} (n={n} shared replicates)"
+    what = (
+        "Δ = row − column" if matrix.mode == "diff" else "ratio = row / column"
+    )
+    null = 0 if matrix.mode == "diff" else 1
+    footer = (
+        f"  {what}; ±{matrix.level:.0%} {matrix.method} CI halfwidth; "
+        f"* = CI excludes {null} (ordering settled)"
+    )
+    return f"{title}\n{format_table(headers, rows)}\n{footer}"
 
 
 def format_figure(result: FigureResult, show_errors: bool = True) -> str:

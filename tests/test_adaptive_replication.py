@@ -504,6 +504,49 @@ class TestRefineSweep:
         with pytest.raises(ValueError, match="complete"):
             refine_sweep(spec, partial)
 
+    def test_rejects_results_off_the_spec_grid(self):
+        """The structural check, not a notes sniff: foreign x values fail."""
+        spec = self.two_series_sweep()
+        other = run_sweep(self.two_series_sweep(values=(2, 5, 9)))
+        with pytest.raises(ValueError, match="does not belong"):
+            refine_sweep(spec, other)
+
+    def test_rejects_results_from_different_policies(self):
+        spec = self.two_series_sweep()
+        foreign = self.two_series_sweep(
+            experiment=ExperimentSpec(
+                topology=TopologySpec("erdos_renyi", {"n": 30}),
+                scenario=ScenarioSpec("commuter", {"period": 4}),
+                policies=(
+                    PolicySpec("onth", label="ONTH"),
+                    PolicySpec("offstat", label="OFFSTAT"),
+                ),
+                horizon=30,
+            ),
+        )
+        with pytest.raises(ValueError, match="policy labels"):
+            refine_sweep(spec, run_sweep(foreign))
+
+    def test_min_spacing_guards_every_grid_value(self, tmp_path):
+        """A midpoint near *any* existing point is skipped, not just the
+        interval's own endpoints (integer bisection floors, so the midpoint
+        of (1, 4) lands at distance 1 from the left endpoint)."""
+        from dataclasses import replace
+
+        spec = self.two_series_sweep(values=(1, 4))
+        base = run_sweep(spec)
+        wide = replace(
+            base,
+            ci={
+                name: tuple((v - 1e6, v + 1e6) for v in base.series[name])
+                for name in base.series_names
+            },
+        )
+        bisected, _ = refine_sweep(spec, wide)
+        assert bisected.values == (1, 4, 2)
+        guarded, _ = refine_sweep(spec, wide, min_spacing=1)
+        assert guarded.values == spec.values
+
     def test_refinement_needs_interval_estimates(self):
         spec = self.two_series_sweep(replication=None, runs=1)
         with pytest.raises(ValueError, match="runs >= 2"):

@@ -41,12 +41,13 @@ class TestErrorPaths:
     def test_subcommand_registry_is_complete(self):
         assert set(_SUBCOMMANDS) == {
             "run", "list", "cache", "trace", "enqueue", "worker", "serve",
+            "report",
         }
 
     def test_unknown_subcommand_names_the_alternatives(self, capsys):
         assert main(["serveq"]) == 2
         hint = one_line(capsys.readouterr().err)
-        assert "cache, enqueue, list, run, serve, trace, worker" in hint
+        assert "cache, enqueue, list, report, run, serve, trace, worker" in hint
 
     def test_zero_runs_is_a_flag_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

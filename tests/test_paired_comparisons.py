@@ -23,8 +23,13 @@ from pathlib import Path
 import pytest
 
 from repro.api.cache import ResultCache
-from repro.api.execution import ProcessPoolBackend
-from repro.api.experiment import refine_sweep, run_sweep
+from repro.api.execution import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    QueueBackend,
+    SerialBackend,
+)
+from repro.api.experiment import capture_sweeps, refine_sweep, run_sweep
 from repro.api.specs import (
     ComparisonSpec,
     ExperimentSpec,
@@ -439,3 +444,201 @@ class TestComparisonCLI:
     def test_trajectory_figures_ignore_compare_with_a_note(self, capsys):
         assert main(["fig12", "--compare", "ONTH"]) == 0
         assert "does not take --compare" in capsys.readouterr().err
+
+
+class CountingBackend(ExecutionBackend):
+    """Serial execution recording the size of every scheduled batch."""
+
+    def __init__(self):
+        self.batches = []
+
+    def run_replicates(self, replicate, tasks, on_result=None):
+        self.batches.append(len(tasks))
+        return SerialBackend().run_replicates(replicate, tasks, on_result)
+
+    @property
+    def total(self):
+        return sum(self.batches)
+
+
+class TestPairedRefinement:
+    """refine_sweep driven by *paired* CIs when the spec carries a comparison."""
+
+    def paired_sweep(self, **overrides):
+        defaults = dict(
+            experiment=ExperimentSpec(
+                topology=TopologySpec("erdos_renyi", {"n": 40}),
+                scenario=ScenarioSpec("commuter", {"period": 6}),
+                policies=(
+                    PolicySpec("onth", label="ONTH"),
+                    PolicySpec("onbr", label="ONBR"),
+                ),
+                horizon=60,
+            ),
+            values=(2, 9),
+            runs=2,
+            seed=2,  # the ONTH-ONBR paired CI straddles 0 at sojourn 9
+            comparison=ComparisonSpec(baseline="ONBR"),
+        )
+        defaults.update(overrides)
+        return small_sweep(**defaults)
+
+    def _with_paired(self, base, values, ci):
+        """``base`` with its single comparison's values/CIs replaced."""
+        comparison = replace(base.comparisons[0], values=values, ci=ci)
+        return replace(base, comparisons=(comparison,))
+
+    def test_straddling_endpoint_bisects_its_intervals_only(self):
+        spec = self.paired_sweep(values=(2, 5, 9))
+        base = run_sweep(spec)
+        # decisive everywhere except x=2: only (2, 5) is worth bisecting
+        doctored = self._with_paired(
+            base,
+            values=(15.0, 8.0, 18.0),
+            ci=((-5.0, 30.0), (3.0, 13.0), (12.0, 25.0)),
+        )
+        refined_spec, _ = refine_sweep(spec, doctored)
+        assert refined_spec.values == (2, 5, 9, 3)
+
+    def test_null_crossing_bisects_despite_decisive_cis(self):
+        spec = self.paired_sweep(values=(2, 5, 9))
+        base = run_sweep(spec)
+        # every CI excludes 0, but the paired mean changes sign over (2, 5)
+        doctored = self._with_paired(
+            base,
+            values=(-15.0, 8.0, 18.0),
+            ci=((-20.0, -10.0), (3.0, 13.0), (12.0, 25.0)),
+        )
+        refined_spec, _ = refine_sweep(spec, doctored)
+        assert refined_spec.values == (2, 5, 9, 3)
+
+    def test_settled_paired_sweep_adds_nothing(self):
+        spec = self.paired_sweep(values=(2, 5, 9))
+        base = run_sweep(spec)
+        settled = self._with_paired(
+            base,
+            values=(15.0, 8.0, 18.0),
+            ci=((10.0, 20.0), (3.0, 13.0), (12.0, 25.0)),
+        )
+        refined_spec, refined = refine_sweep(spec, settled)
+        assert refined_spec.values == spec.values
+        assert refined.x_values == (2, 5, 9)
+
+    def test_marginal_overlap_is_ignored_under_a_comparison(self):
+        """Settled paired CIs beat wildly overlapping marginal CIs."""
+        spec = self.paired_sweep(
+            values=(2, 5, 9), replication=ReplicationSpec()
+        )
+        base = run_sweep(spec)
+        assert base.has_confidence
+        wide = replace(
+            base,
+            ci={
+                name: tuple((v - 1e6, v + 1e6) for v in base.series[name])
+                for name in base.series_names
+            },
+        )
+        settled = self._with_paired(
+            wide,
+            values=(15.0, 8.0, 18.0),
+            ci=((10.0, 20.0), (3.0, 13.0), (12.0, 25.0)),
+        )
+        refined_spec, _ = refine_sweep(spec, settled)
+        assert refined_spec.values == spec.values
+
+    def test_ratio_mode_bisects_around_one(self):
+        spec = self.paired_sweep(
+            comparison=ComparisonSpec(baseline="ONBR", mode="ratio")
+        )
+        base = run_sweep(spec)
+        settled = self._with_paired(
+            base, values=(1.3, 1.4), ci=((1.1, 1.5), (1.2, 1.6))
+        )
+        assert refine_sweep(spec, settled)[0].values == spec.values
+        straddling = self._with_paired(
+            base, values=(1.3, 1.05), ci=((1.1, 1.5), (0.9, 1.2))
+        )
+        assert refine_sweep(spec, straddling)[0].values == (2, 9, 5)
+
+    def test_rejects_result_missing_comparison_payloads(self):
+        spec = self.paired_sweep()
+        plain = run_sweep(self.paired_sweep(comparison=None))
+        with pytest.raises(ValueError, match="without paired-comparison"):
+            refine_sweep(spec, plain)
+
+    def test_rejects_comparison_payloads_on_a_plain_spec(self):
+        paired = run_sweep(self.paired_sweep())
+        with pytest.raises(ValueError, match="without a ComparisonSpec"):
+            refine_sweep(self.paired_sweep(comparison=None), paired)
+
+    def test_rejects_mismatched_baseline_and_mode(self):
+        base = run_sweep(self.paired_sweep())
+        ratio = self.paired_sweep(
+            comparison=ComparisonSpec(baseline="ONBR", mode="ratio")
+        )
+        with pytest.raises(ValueError, match="do not match the spec's"):
+            refine_sweep(ratio, base)
+
+
+class TestPairedRefinementWarmCache:
+    def test_warm_cache_simulates_only_the_appended_midpoint(self, tmp_path):
+        """The ISSUE's acceptance test, golden-pinned on the bisection.
+
+        A paired refinement pass over a warm cache loads every pre-existing
+        grid point from its per-point entries and simulates *only* the
+        appended midpoints — then serial, pooled and queue-drained re-runs
+        of the refined spec agree bit for bit.
+        """
+        spec = TestPairedRefinement().paired_sweep()
+        cache = ResultCache(tmp_path)
+        base = run_sweep(spec, cache=cache)
+        counting = CountingBackend()
+        probe = ResultCache(tmp_path)
+        refined_spec, refined = refine_sweep(
+            spec, base, backend=counting, cache=probe
+        )
+        # golden-pinned: the straddle at sojourn 9 bisects (2, 9) to 5,
+        # appended so the prefix keeps its indices, seeds and cache keys
+        assert refined_spec.values == (2, 9, 5)
+        # only the midpoint simulated: one batch of spec.runs replicates
+        assert counting.batches == [spec.runs]
+        # the old grid came entirely from the warm cache — no new entries
+        assert probe.point_hits == len(spec.values)
+        assert probe.point_stores == 1 and probe.extension_stores == 0
+        # prefix points kept their values bit for bit
+        for name in base.series_names:
+            for i, x in enumerate(base.x_values):
+                j = refined.x_values.index(x)
+                assert refined.series[name][j] == base.series[name][i]
+        # serial == pool == queue on the refined spec
+        serial = run_sweep(refined_spec)
+        pool = run_sweep(refined_spec, backend=ProcessPoolBackend(2))
+        queued = run_sweep(
+            refined_spec, backend=QueueBackend(tmp_path / "q.db", poll=0.01)
+        )
+        assert pool.to_dict() == serial.to_dict()
+        assert queued.to_dict() == serial.to_dict()
+        # and the refined result is exactly the x-sorted view of them
+        for name in serial.series_names:
+            for i, x in enumerate(serial.x_values):
+                j = refined.x_values.index(x)
+                assert refined.series[name][j] == serial.series[name][i]
+
+    def test_fig03_refinement_keeps_the_golden_prefix(self, tmp_path):
+        """Refining the golden fig03 smoke never perturbs the pinned points."""
+        cache = ResultCache(tmp_path)
+        with capture_sweeps() as captured:
+            base = figures.figure03(
+                **FIG03_PARAMS, cache=cache, comparison=VS_ONTH
+            )
+        [(spec, _)] = captured
+        refined_spec, refined = refine_sweep(
+            spec, base, cache=ResultCache(tmp_path)
+        )
+        # the paired CI straddles 0 at size 60, so (30, 60) bisects
+        assert refined_spec.values == (30, 60, 45)
+        golden = GOLDEN["fig03"]["result"]
+        for name, values in golden["series"].items():
+            for i, x in enumerate(golden["x_values"]):
+                j = refined.x_values.index(x)
+                assert refined.series[name][j] == values[i]
