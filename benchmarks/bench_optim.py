@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Perf + quality harness for the optimizer-backed policy family.
+
+Two sections:
+
+* **Solve time per epoch vs instance size** — runs :class:`IlpPlacement`
+  (and its LP relaxation) through the ordinary simulator on growing
+  substrates and reports the wall-clock cost of one epoch re-solve. The
+  gates are generous ceilings (~20-30x the measured times on a laptop):
+  they are not performance marketing, they catch pathological regressions
+  — a dense constraint matrix, a lost sparsity pattern, an accidental
+  re-solve every round.
+* **Heuristic/ILP cost ratio at a fixed CI target** — the ``optim``
+  figure's paired sweep at 12 CRN replicates; the gate requires the
+  paired 95% CI halfwidth of every heuristic/ILP ratio to be at most
+  ``RATIO_HALFWIDTH_TARGET`` at every sweep point (the CRN pairing is
+  what makes that target reachable at 12 replicates), and the LP/ILP
+  ratio to stay near 1 (the deterministic rounding recovering the integer
+  optimum at this scale).
+
+Usage::
+
+    python benchmarks/bench_optim.py [OUTPUT.json]
+
+Writes ``BENCH_optim.json`` (or OUTPUT) and exits non-zero when a gate
+fails.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.algorithms.optim import IlpPlacement
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.experiments.figures import figure_optim
+from repro.topology.generators import erdos_renyi, line
+from repro.workload.commuter import CommuterScenario, default_period_for
+
+SEED = 20110330
+
+#: (name, topology, nodes, horizon, epoch, per-solve ceiling in seconds).
+POINTS = (
+    ("line-n10", "line", 10, 60, 10, 0.20),
+    ("er-n50", "erdos_renyi", 50, 60, 10, 0.30),
+    ("er-n120", "erdos_renyi", 120, 60, 10, 0.60),
+)
+
+#: Paired 95% CI halfwidth every heuristic/ILP ratio must reach with the
+#: 12 CRN replicates below.
+RATIO_HALFWIDTH_TARGET = 0.15
+RATIO_RUNS = 12
+#: LP rounding must stay near the integer optimum at this scale.
+LP_RATIO_TOLERANCE = 0.25
+
+
+def _substrate(kind: str, n: int):
+    if kind == "line":
+        return line(n, seed=3, unit_latency=False, latency_range=(5.0, 20.0))
+    return erdos_renyi(n=n, p=4.0 / n, seed=3)
+
+
+def _bench_point(name, kind, n, horizon, epoch, ceiling):
+    substrate = _substrate(kind, n)
+    substrate.distances  # materialise outside the timed region
+    scenario = CommuterScenario(substrate, period=default_period_for(max(n, 8)))
+    trace = scenario.generate(horizon, np.random.default_rng(1))
+    costs = CostModel.paper_default()
+    solves = horizon // epoch
+
+    timings = {}
+    for label, relax in (("ilp", False), ("lp", True)):
+        best = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            simulate(
+                substrate,
+                IlpPlacement(epoch=epoch, relax=relax),
+                trace, costs, seed=0,
+            )
+            best = min(best, time.perf_counter() - started)
+        timings[label] = {
+            "seconds": round(best, 4),
+            "seconds_per_solve": round(best / solves, 5),
+        }
+
+    per_solve = timings["ilp"]["seconds_per_solve"]
+    return {
+        "topology": kind,
+        "substrate_nodes": n,
+        "horizon": horizon,
+        "epoch": epoch,
+        "epoch_solves": solves,
+        "timings": timings,
+        "per_solve_ceiling": ceiling,
+        "per_solve_ok": per_solve <= ceiling,
+    }
+
+
+def _bench_ratio():
+    started = time.perf_counter()
+    result = figure_optim(sojourns=(2, 5), horizon=40, runs=RATIO_RUNS)
+    elapsed = time.perf_counter() - started
+
+    comparisons = {}
+    halfwidths_ok = True
+    lp_ok = True
+    for comparison in result.comparisons:
+        halfwidths = [
+            (high - low) / 2.0 for low, high in comparison.ci
+        ]
+        entry = {
+            "ratio": [round(v, 4) for v in comparison.values],
+            "ci_halfwidth": [round(h, 4) for h in halfwidths],
+            "replicates": list(comparison.counts),
+        }
+        comparisons[comparison.contrast] = entry
+        if any(h > RATIO_HALFWIDTH_TARGET for h in halfwidths):
+            halfwidths_ok = False
+        if comparison.contrast == "LP" and any(
+            abs(v - 1.0) > LP_RATIO_TOLERANCE for v in comparison.values
+        ):
+            lp_ok = False
+    return {
+        "figure": "optim",
+        "runs": RATIO_RUNS,
+        "halfwidth_target": RATIO_HALFWIDTH_TARGET,
+        "lp_ratio_tolerance": LP_RATIO_TOLERANCE,
+        "seconds": round(elapsed, 3),
+        "comparisons": comparisons,
+        "halfwidths_ok": halfwidths_ok,
+        "lp_ratio_ok": lp_ok,
+    }
+
+
+def run() -> dict:
+    points = {}
+    for name, *args in POINTS:
+        points[name] = _bench_point(name, *args)
+    ratio = _bench_ratio()
+    return {
+        "seed": SEED,
+        "points": points,
+        "ratio": ratio,
+        "all_solve_times_ok": all(p["per_solve_ok"] for p in points.values()),
+        "ratio_gates_ok": ratio["halfwidths_ok"] and ratio["lp_ratio_ok"],
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    output = argv[0] if argv else "BENCH_optim.json"
+    payload = run()
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    for name, point in payload["points"].items():
+        ilp = point["timings"]["ilp"]["seconds_per_solve"]
+        print(
+            f"{name}: {ilp*1e3:.1f} ms/solve "
+            f"(ceiling {point['per_solve_ceiling']*1e3:.0f} ms, "
+            f"ok={point['per_solve_ok']}) -> {output}"
+        )
+    onth = payload["ratio"]["comparisons"].get("ONTH", {})
+    print(
+        f"optim ratios at {payload['ratio']['runs']} CRN replicates: "
+        f"ONTH/ILP {onth.get('ratio')} "
+        f"(halfwidths {onth.get('ci_halfwidth')}, "
+        f"target {payload['ratio']['halfwidth_target']})"
+    )
+    if not payload["all_solve_times_ok"]:
+        print("FAIL: an epoch re-solve exceeded its wall-clock ceiling",
+              file=sys.stderr)
+        return 1
+    if not payload["ratio_gates_ok"]:
+        print("FAIL: paired ratio CIs missed the fixed target "
+              "(or LP rounding drifted from the integer optimum)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,13 @@ it runs. This example
     the policies' crossing region — with the warm cache re-simulating
     only the appended midpoints, then renders the sweep as a publishable
     EXPERIMENTS.md plus a self-contained repro bundle that replays and
-    re-renders byte-identically.
+    re-renders byte-identically, and
+13. pits the heuristics against the optimizer-backed ``ilp`` policy — a
+    periodic re-solve placement program whose solver knobs (epoch,
+    window, LP relaxation, backend) are ordinary spec parameters — with
+    a paired ratio comparison on common random numbers, and checks the
+    exact tiny-instance ``milp-opt`` optimum agrees with the OPT dynamic
+    program on a small line instance.
 
 Run:  python examples/declarative_specs.py
 """
@@ -395,6 +401,58 @@ def main() -> None:
             "--out EXPERIMENTS.md --bundle bundle/  →  "
             "run --from-bundle bundle/"
         )
+
+    # 13. Heuristics vs the optimizer. The "ilp" policy re-solves a
+    #     placement program every `epoch` rounds (scipy's bundled HiGHS;
+    #     relax=True rounds the LP relaxation instead), and its solver
+    #     knobs are ordinary spec parameters — so pitting the threshold
+    #     heuristics against it is just another paired-ratio sweep on
+    #     common random numbers. "milp-opt" is the exact tiny-instance
+    #     optimum the differential test harness pins against OPT.
+    showdown = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=TopologySpec("erdos_renyi", {"n": 40}),
+            scenario=ScenarioSpec("commuter", {"period": 6}),
+            policies=(
+                PolicySpec("onth", label="ONTH"),
+                PolicySpec("ilp", {"epoch": 10}, label="ILP"),
+                PolicySpec("ilp", {"epoch": 10, "relax": True}, label="LP"),
+            ),
+            horizon=60,
+        ),
+        parameter="scenario.sojourn",
+        values=(2, 6),
+        runs=2,
+        seed=5,
+        figure="example-optim",
+        x_label="λ",
+        comparison=ComparisonSpec(baseline="ILP", mode="ratio"),
+    )
+    versus = run_sweep(showdown)
+    print("\nheuristic/ILP paired cost ratios (shared traces):")
+    for contrast in ("ONTH", "LP"):
+        values = versus.comparison_for(contrast).values
+        print("  " + f"{contrast:<5}"
+              + ", ".join(f"λ={x}: {v:.3f}"
+                          for x, v in zip(versus.x_values, values)))
+    exact = run_experiment(
+        ExperimentSpec(
+            topology=TopologySpec("line", {"n": 3}),
+            scenario=ScenarioSpec("commuter", {"period": 4}),
+            policies=(PolicySpec("milp-opt", label="MILP-OPT"),),
+            horizon=8,
+            metrics=(MetricSpec("cost_ratio_vs", {"reference": "OPT"}),),
+            seed=11,
+        )
+    )
+    ratio = exact.series["MILP-OPT"]
+    assert abs(ratio - 1.0) < 1e-9
+    print(
+        f"exact MILP optimum / OPT dynamic program = {ratio:.6f} "
+        "on a 3-node line;\n"
+        "  CLI: ... run --policy onth --policy ilp:epoch=10,label=ILP \\\n"
+        "      --compare ILP --compare-mode ratio"
+    )
 
 
 if __name__ == "__main__":

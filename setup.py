@@ -45,6 +45,10 @@ setup(
     ],
     extras_require={
         "test": ["pytest>=7", "pytest-cov>=4", "hypothesis>=6"],
+        # the optional pulp/CBC solver backend for the ILP/LP policy family
+        # (backend="pulp" / backend="auto"); scipy's HiGHS backend works
+        # without it
+        "opt": ["pulp>=2.7"],
     },
     entry_points={
         "console_scripts": [

@@ -7,7 +7,9 @@ Online (no knowledge of future requests):
 * :class:`OnBR` — sequential best-response on an epoch threshold θ, with
   the "fixed" (θ = 2c) and "dyn" (θ = 2c/ℓ) variants of §V-B;
 * :class:`OnTH` — the two-threshold algorithm (small epochs migrate or
-  deactivate, large epochs add servers).
+  deactivate, large epochs add servers);
+* :class:`IlpPlacement` — optimizer-backed periodic re-solve placement
+  (ILP or LP relaxation; the related work's strategy family, §VI).
 
 * :class:`WorkFunctionPolicy` — the metrical-task-system work function
   algorithm (§VI related work), the theory-grade online comparator.
@@ -15,6 +17,8 @@ Online (no knowledge of future requests):
 Offline (full request sequence known ahead of time):
 
 * :class:`Opt` — the exact dynamic program over configurations;
+* :class:`MilpOpt` — the same optimum as one time-expanded MILP (tiny
+  instances; the differential harness's independent second optimum);
 * :class:`BeamOpt` — the §IV-B sampling heuristic (beam search) for graphs
   beyond OPT's exponential state space;
 * :class:`OffBR` / :class:`OffTH` — best-response on the *upcoming* epoch;
@@ -29,6 +33,7 @@ from repro.algorithms.onbr import OnBR
 from repro.algorithms.onconf import OnConf
 from repro.algorithms.onth import OnTH
 from repro.algorithms.opt import Opt, per_round_access_costs
+from repro.algorithms.optim import IlpPlacement, MilpOpt
 from repro.algorithms.static import StaticPolicy
 from repro.algorithms.workfunction import WorkFunctionPolicy
 
@@ -36,8 +41,10 @@ __all__ = [
     "OnConf",
     "OnBR",
     "OnTH",
+    "IlpPlacement",
     "WorkFunctionPolicy",
     "Opt",
+    "MilpOpt",
     "BeamOpt",
     "OffBR",
     "OffTH",

@@ -18,7 +18,19 @@ Semantics:
   equals its stand-alone cost; for convex load, co-location hurts both —
   the contention is the point of the model);
 * a node may host at most one server *per service* (different services
-  may co-locate; they are distinct virtual machines).
+  may co-locate; they are distinct virtual machines);
+* when the substrate carries a per-node **capacity vector**
+  (``Substrate(..., capacities=...)``), routing becomes capacity-aware:
+  each node serves at most ``capacities[v]`` requests per round *summed
+  over all services*. Requests are placed deterministically — services in
+  declaration order, requests in trace order, each at its nearest active
+  server with spare capacity (ties to the lower node index), spilling over
+  to the next-nearest when the preferred node is full. A round whose
+  demand cannot be packed at all raises :class:`ValueError`: capacity is a
+  hard packing constraint (the Stolyar-style model the optimizer-backed
+  policies plan against), unlike the soft contention of the load function.
+  Uncapacitated substrates keep the original vectorised nearest routing,
+  bit-for-bit.
 
 The per-service ledgers are ordinary :class:`~repro.core.results.RunResult`
 objects, so all analysis tooling applies unchanged.
@@ -54,6 +66,43 @@ class ServiceSpec:
     costs: "CostModel | None" = None
 
 
+def _place_capacitated(
+    name: str,
+    t: int,
+    servers: np.ndarray,
+    requests: np.ndarray,
+    distances: np.ndarray,
+    remaining: np.ndarray,
+) -> "tuple[np.ndarray, float]":
+    """Greedy deterministic capacity-aware placement of one service's round.
+
+    Each request (in trace order) goes to its nearest active server with
+    spare capacity — ties to the lower node index via the stable preference
+    sort — consuming one unit of the *shared* ``remaining`` budget.  Raises
+    when a request finds every active server full: capacity is a hard
+    packing constraint.
+    """
+    preference = np.argsort(distances, axis=0, kind="stable")
+    served_at = np.empty(requests.size, dtype=np.int64)
+    latency = 0.0
+    for j in range(requests.size):
+        for rank in preference[:, j]:
+            node = int(servers[rank])
+            if remaining[node] >= 1.0:
+                served_at[j] = node
+                latency += float(distances[rank, j])
+                remaining[node] -= 1.0
+                break
+        else:
+            raise ValueError(
+                f"service {name!r}: request at node {int(requests[j])} in "
+                f"round {t} cannot be served — every active server is at "
+                "capacity (the per-node capacity vector is a hard packing "
+                "constraint)"
+            )
+    return served_at, latency
+
+
 def simulate_services(
     substrate: Substrate,
     services: "list[ServiceSpec]",
@@ -63,7 +112,10 @@ def simulate_services(
     """Run several services over one substrate with shared node load.
 
     Args:
-        substrate: the shared substrate network.
+        substrate: the shared substrate network; when it carries
+            ``capacities``, routing enforces them as a per-round per-node
+            packing constraint shared across services (see the module
+            docstring for the exact placement order).
         services: the hosted services; traces must have equal length
             (lockstep rounds) and unique names.
         default_costs: cost model for services without their own.
@@ -71,6 +123,11 @@ def simulate_services(
 
     Returns:
         Mapping service name → its :class:`RunResult` ledger.
+
+    Raises:
+        ValueError: invalid service set, a service with requests but no
+            active server, or — on capacitated substrates — a round whose
+            demand cannot be packed within the active servers' capacities.
     """
     if not services:
         raise ValueError("simulate_services needs at least one service")
@@ -108,9 +165,14 @@ def simulate_services(
     strengths = substrate.strengths
     for t in range(horizon):
         # Phase 1: route every service against its own servers; collect the
-        # per-node demand each service induces.
+        # per-node demand each service induces. On capacitated substrates
+        # the per-round budget is shared across services (placement order:
+        # services as declared, requests in trace order).
         assignments: dict[str, tuple[np.ndarray, np.ndarray, float]] = {}
         node_counts = np.zeros(substrate.n, dtype=np.int64)
+        remaining = (
+            substrate.capacities.copy() if substrate.capacitated else None
+        )
         for spec in services:
             config = configs[spec.name]
             requests = spec.trace[t]
@@ -125,10 +187,15 @@ def simulate_services(
                 )
             servers = np.asarray(config.active, dtype=np.int64)
             distances = substrate.distances[np.ix_(servers, requests)]
-            choice = np.argmin(distances, axis=0)
-            latency = float(distances[choice, np.arange(requests.size)].sum())
+            if remaining is None:
+                choice = np.argmin(distances, axis=0)
+                latency = float(distances[choice, np.arange(requests.size)].sum())
+                served_at = servers[choice]
+            else:
+                served_at, latency = _place_capacitated(
+                    spec.name, t, servers, requests, distances, remaining
+                )
             latency += costs_of[spec.name].wireless_hop * requests.size
-            served_at = servers[choice]
             assignments[spec.name] = (served_at, requests, latency)
             node_counts += np.bincount(served_at, minlength=substrate.n)
 

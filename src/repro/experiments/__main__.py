@@ -722,6 +722,11 @@ def main(argv: "list[str] | None" = None) -> int:
         # series exist; still a user error, not a traceback
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except ImportError as error:
+        # optimizer figures with backend=pulp but no [opt] extra: the
+        # message already names the install command
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -1080,7 +1085,7 @@ def run_command(argv: "list[str]") -> int:
     try:
         _validate_backend_args(args)
         spec = _validated_spec(args)
-    except (UnknownNameError, ValueError, TypeError) as error:
+    except (UnknownNameError, ValueError, TypeError, ImportError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
@@ -1655,7 +1660,7 @@ def enqueue_command(argv: "list[str]") -> int:
     args = build_enqueue_parser().parse_args(argv)
     try:
         spec = _validated_spec(args)
-    except (UnknownNameError, ValueError, TypeError) as error:
+    except (UnknownNameError, ValueError, TypeError, ImportError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     cache = ResultCache(args.cache_dir)

@@ -44,6 +44,7 @@ from repro.algorithms import OffStat, OnBR, OnTH
 from repro.api.experiment import run_sweep
 from repro.api.registry import register_figure
 from repro.api.specs import (
+    ComparisonSpec,
     CostSpec,
     ExperimentSpec,
     MetricSpec,
@@ -66,7 +67,7 @@ __all__ = [
     "figure01", "figure02", "figure03", "figure04", "figure05", "figure06",
     "figure07", "figure08", "figure09", "figure10", "figure11", "figure12",
     "figure13", "figure14", "figure15", "figure16", "figure17", "figure18",
-    "figure19", "rocketfuel_table",
+    "figure19", "figure_optim", "rocketfuel_table",
 ]
 
 #: Default master seed for all figures (any fixed value works; this one is
@@ -1021,3 +1022,74 @@ def rocketfuel_table(
         notes=_ROCKETFUEL_NOTES,
     )
     return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication, comparison=comparison)
+
+
+# ---------------------------------------------------------------------------
+# Heuristics vs optimal placement: the optimizer-backed policy family
+# ---------------------------------------------------------------------------
+
+
+@register_figure("optim", quick=dict(sojourns=(2, 5), horizon=40, runs=3))
+def figure_optim(
+    sojourns=(2, 5, 10),
+    n: int = 5,
+    epoch: int = 10,
+    period: int = 4,
+    horizon: int = 60,
+    runs: int = 5,
+    seed: int = DEFAULT_SEED,
+    backend=None,
+    cache=None,
+    shard=None,
+    replication=None,
+    comparison=None,
+) -> FigureResult:
+    """Heuristics vs ILP vs LP-relaxation vs OPT: paired cost ratios.
+
+    The question the reproduction was built for: how close do the paper's
+    threshold heuristics get to optimizer-backed placement?  One sweep on
+    the OPT line substrate runs ONTH, ONBR, the periodic re-solve ILP, its
+    LP relaxation and OPT over *shared* replicate traces, and publishes
+    every series as a paired (CRN) cost ratio against the ILP baseline —
+    OPT's ratio shows how much optimality the one-epoch lookahead gives
+    away, the heuristics' ratios what the thresholds leave on the table.
+
+    Not a figure of the paper: the optimizer family comes from the related
+    work (Stillwell et al.; Stolyar), solved per epoch as a placement MILP
+    (see ``repro.algorithms.optim``).
+    """
+    spec = SweepSpec(
+        experiment=ExperimentSpec(
+            topology=_line_topology(n),
+            scenario=ScenarioSpec("commuter", {"period": period}),
+            policies=(
+                PolicySpec("ilp", {"epoch": int(epoch)}, label="ILP"),
+                PolicySpec(
+                    "ilp", {"epoch": int(epoch), "relax": True}, label="LP"
+                ),
+                PolicySpec("onth", label="ONTH"),
+                PolicySpec("onbr", label="ONBR"),
+                PolicySpec("opt", label="OPT"),
+            ),
+            costs=CostSpec.paper_default(),
+            horizon=horizon,
+        ),
+        parameter="scenario.sojourn",
+        values=tuple(int(s) for s in sojourns),
+        runs=runs,
+        seed=seed,
+        figure="optim",
+        title="Heuristics vs ILP vs LP vs OPT (paired cost ratios, line graph)",
+        x_label="λ",
+        notes=(
+            "ratios are paired against the ILP baseline on shared replicate "
+            "traces; OPT < 1 bounds the optimality gap, heuristics > 1 is "
+            "the threshold overhead"
+        ),
+        comparison=(
+            comparison
+            if comparison is not None
+            else ComparisonSpec(baseline="ILP", mode="ratio")
+        ),
+    )
+    return run_sweep(spec, backend=backend, cache=cache, shard=shard, replication=replication)

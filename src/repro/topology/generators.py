@@ -89,6 +89,7 @@ def erdos_renyi(
     latency_range: tuple[float, float] = DEFAULT_LATENCY_RANGE,
     unit_latency: bool = False,
     name: "str | None" = None,
+    capacity: "float | None" = None,
 ) -> Substrate:
     """Connected Erdős–Rényi substrate ``G(n, p)`` (§V-A default ``p = 1%``).
 
@@ -105,6 +106,8 @@ def erdos_renyi(
         latency_range: uniform range for link latencies.
         unit_latency: if true, every link has latency 1 (hop-count metric).
         name: optional substrate label.
+        capacity: uniform per-round per-node request capacity (``None`` =
+            uncapacitated, the paper's model).
     """
     n = check_positive_int("n", n)
     p = check_probability("p", p)
@@ -120,7 +123,9 @@ def erdos_renyi(
     edges = _connect_components(n, edges, rng)
     links = _links_from_edges(np.array(edges, dtype=np.int64).reshape(-1, 2), rng,
                               latency_range, unit_latency)
-    return Substrate(n, links, name=name or f"erdos-renyi(n={n},p={p})")
+    return Substrate(
+        n, links, name=name or f"erdos-renyi(n={n},p={p})", capacities=capacity
+    )
 
 
 def _connect_components(
@@ -169,19 +174,23 @@ def line(
     latency_range: tuple[float, float] = DEFAULT_LATENCY_RANGE,
     unit_latency: bool = True,
     name: "str | None" = None,
+    capacity: "float | None" = None,
 ) -> Substrate:
     """Line (path) graph ``0 - 1 - ... - n-1``.
 
     The paper constrains the :class:`~repro.algorithms.opt.Opt` experiments
     to line graphs (§V-A); unit latencies are the default here so that the
     metric is the hop distance, matching the chain networks of the online
-    function tracking reduction (§VI).
+    function tracking reduction (§VI). ``capacity`` attaches a uniform
+    per-round per-node request capacity (``None`` = uncapacitated).
     """
     n = check_positive_int("n", n)
     rng = ensure_rng(seed)
     edges = np.column_stack([np.arange(n - 1), np.arange(1, n)])
     links = _links_from_edges(edges, rng, latency_range, unit_latency)
-    return Substrate(n, links, name=name or f"line(n={n})")
+    return Substrate(
+        n, links, name=name or f"line(n={n})", capacities=capacity
+    )
 
 
 @register_topology("ring")

@@ -79,6 +79,11 @@ class Substrate:
         access_points: node indices that terminals may attach to
             (``A ⊆ V``, §II-B). Defaults to all nodes.
         name: human-readable label used in reports.
+        capacities: optional per-round per-node request capacity (the
+            packing constraint of the capacitated multi-service model and
+            the optimizer-backed policies); scalar broadcasts to all nodes,
+            ``None`` (the default) means uncapacitated — the paper's
+            setting, where only the *load function* penalises contention.
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class Substrate:
         strengths: "float | np.ndarray | None" = None,
         access_points: "list[int] | np.ndarray | None" = None,
         name: str = "substrate",
+        capacities: "float | np.ndarray | None" = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"substrate needs at least one node, got n={n}")
@@ -105,6 +111,7 @@ class Substrate:
             seen.add(link.endpoints)
 
         self._strengths = self._build_strengths(strengths)
+        self._capacities = self._build_capacities(capacities)
         self._access_points = self._build_access_points(access_points)
         self._adjacency = self._build_adjacency()
         self._require_connected()
@@ -125,6 +132,20 @@ class Substrate:
             )
         if not np.all(arr > 0):
             raise ValueError("all node strengths must be > 0")
+        return arr
+
+    def _build_capacities(self, capacities) -> "np.ndarray | None":
+        if capacities is None:
+            return None
+        arr = np.asarray(capacities, dtype=np.float64)
+        if arr.ndim == 0:
+            arr = np.full(self._n, float(arr), dtype=np.float64)
+        if arr.shape != (self._n,):
+            raise ValueError(
+                f"capacities must be scalar or shape ({self._n},), got {arr.shape}"
+            )
+        if not np.all(arr > 0):
+            raise ValueError("all node capacities must be > 0")
         return arr
 
     def _build_access_points(self, access_points) -> np.ndarray:
@@ -180,6 +201,43 @@ class Substrate:
         view = self._strengths.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def capacities(self) -> "np.ndarray | None":
+        """Read-only per-round per-node request capacities, or ``None``.
+
+        ``None`` — the default — is the paper's uncapacitated model.
+        """
+        if self._capacities is None:
+            return None
+        view = self._capacities.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def capacitated(self) -> bool:
+        """Whether this substrate carries a per-node capacity vector."""
+        return self._capacities is not None
+
+    def with_capacities(
+        self, capacities: "float | np.ndarray | None"
+    ) -> "Substrate":
+        """A copy of this substrate with ``capacities`` swapped in.
+
+        The cached distance matrix is shared (it depends only on links), so
+        deriving a capacitated variant of a large substrate is cheap.
+        """
+        clone = Substrate(
+            self._n,
+            self._links,
+            strengths=self._strengths,
+            access_points=self._access_points,
+            name=self._name,
+            capacities=capacities,
+        )
+        clone._distances = self._distances
+        clone._center = self._center
+        return clone
 
     @property
     def access_points(self) -> np.ndarray:

@@ -148,3 +148,76 @@ class TestIndependentFleets:
             )
             runs.append(results["svc"].total_cost)
         assert runs[0] == runs[1]
+
+
+def capped_line(capacity):
+    return line(5, seed=0, capacity=capacity)
+
+
+def static_at(*nodes):
+    cfg = Configuration(tuple(nodes))
+    return StaticPolicy(cfg, start=cfg)
+
+
+class TestCapacitatedRouting:
+    def test_spill_over_to_next_nearest(self):
+        """A full node spills requests to the next-nearest active server."""
+        sub = capped_line(1.0)
+        results = simulate_services(
+            sub,
+            [ServiceSpec("svc", static_at(1, 3), trace_of([1, 1]))],
+            CostModel.paper_default(),
+        )
+        # first request served at node 1 (distance 0), second spills to 3
+        assert results["svc"].latency_cost[0] == pytest.approx(2.0)
+
+    def test_ties_break_to_lower_node_index(self):
+        sub = capped_line(1.0)
+        results = simulate_services(
+            sub,
+            [ServiceSpec("svc", static_at(1, 3), trace_of([2, 0]))],
+            CostModel.paper_default(),
+        )
+        # the node-2 request ties between servers 1 and 3 and takes 1,
+        # forcing the node-0 request all the way to server 3 (distance 3)
+        assert results["svc"].latency_cost[0] == pytest.approx(1.0 + 3.0)
+
+    def test_unpackable_round_raises(self):
+        sub = capped_line(1.0)
+        with pytest.raises(ValueError, match="at capacity"):
+            simulate_services(
+                sub,
+                [ServiceSpec("svc", static(2), trace_of([2, 2]))],
+                CostModel.paper_default(),
+            )
+
+    def test_budget_is_shared_across_services(self):
+        """Earlier-declared services consume the shared per-node budget."""
+        sub = capped_line(1.0)
+        results = simulate_services(
+            sub,
+            [
+                ServiceSpec("first", static(2), trace_of([2])),
+                ServiceSpec("second", static_at(2, 4), trace_of([2])),
+            ],
+            CostModel.paper_default(),
+        )
+        assert results["first"].latency_cost[0] == pytest.approx(0.0)
+        # node 2 is full: the second service's request spills to its node 4
+        assert results["second"].latency_cost[0] == pytest.approx(2.0)
+
+    def test_non_binding_capacity_is_bit_identical(self, line5, costs):
+        """A capacity that never binds reproduces the uncapacitated path
+        exactly — every per-round float, not just the totals."""
+        scenario = TimeZoneScenario(line5, period=3, sojourn=3, requests_per_round=3)
+        trace = generate_trace(scenario, 20, seed=4)
+        loose = simulate_services(
+            capped_line(100.0), [ServiceSpec("svc", OnTH(), trace)], costs, seed=9
+        )["svc"]
+        free = simulate_services(
+            line5, [ServiceSpec("svc", OnTH(), trace)], costs, seed=9
+        )["svc"]
+        np.testing.assert_array_equal(loose.latency_cost, free.latency_cost)
+        np.testing.assert_array_equal(loose.load_cost, free.load_cost)
+        np.testing.assert_array_equal(loose.migration_cost, free.migration_cost)
+        assert loose.total_cost == free.total_cost

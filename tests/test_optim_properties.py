@@ -1,0 +1,241 @@
+"""Property tests for the optimizer backends: bounds, determinism, extras.
+
+Three families:
+
+* **LP lower bound** — on every randomly built placement program, the LP
+  relaxation's objective lower-bounds the MILP's (dropping integrality can
+  only enlarge the feasible set).
+* **Determinism** — the same spec + seed produce *bit-identical* ledgers in
+  two separate processes: the policy consumes no RNG and the HiGHS solve is
+  deterministic, so CRN-paired comparisons involving ILP/LP columns stay
+  valid across machines and cache reloads.
+* **Backend plumbing** — ``auto`` resolution, the graceful ImportError
+  naming the ``[opt]`` extra when pulp is absent, and scipy/pulp agreement
+  when it is present (each side skip-aware, so the suite is green both with
+  and without the extra).
+"""
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.optim import (
+    BACKENDS,
+    IlpPlacement,
+    MilpOpt,
+    build_placement,
+    have_pulp,
+    resolve_backend,
+)
+from repro.algorithms.optim.backends import Program
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import line
+from repro.workload.base import Trace
+
+SLOW = dict(deadline=None)
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _random_placement(seed: int, n: int, occupied_mask: int):
+    substrate = line(n, seed=seed, unit_latency=False,
+                     latency_range=(5.0, 20.0))
+    rng = np.random.default_rng(seed)
+    demand = rng.integers(0, n, size=int(rng.integers(1, 4 * n)))
+    occupied = frozenset(
+        node for node in range(n) if occupied_mask & (1 << node)
+    )
+    return build_placement(
+        substrate,
+        CostModel.paper_default(),
+        demand,
+        window_rounds=4,
+        epoch_rounds=6,
+        occupied=occupied,
+        capacities=None if seed % 2 else np.full(n, 3.0),
+    )
+
+
+class TestRelaxationBound:
+    @settings(max_examples=20, **SLOW)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 6),
+        occupied_mask=st.integers(0, 63),
+    )
+    def test_lp_objective_lower_bounds_milp(self, seed, n, occupied_mask):
+        model = _random_placement(seed, n, occupied_mask)
+        lp = model.program.solve(relax=True)
+        milp = model.program.solve(relax=False)
+        assert lp.objective <= milp.objective + 1e-9
+
+    @settings(max_examples=15, **SLOW)
+    @given(seed=st.integers(0, 10_000))
+    def test_lp_bound_holds_on_random_programs(self, seed):
+        """The invariant is a property of the Program layer itself: on
+        arbitrary feasible MILPs, relaxing can only lower the optimum."""
+        rng = np.random.default_rng(seed)
+        program = Program()
+        n_vars = int(rng.integers(2, 8))
+        indices = [
+            program.variable(
+                objective=float(rng.uniform(-5.0, 5.0)),
+                ub=float(rng.uniform(1.0, 3.0)),
+                integer=bool(rng.random() < 0.7),
+            )
+            for _ in range(n_vars)
+        ]
+        for _ in range(int(rng.integers(1, 5))):
+            chosen = rng.choice(indices, size=rng.integers(1, n_vars + 1),
+                                replace=False)
+            terms = [(int(i), float(rng.uniform(0.1, 2.0))) for i in chosen]
+            program.constrain(terms, hi=float(rng.uniform(2.0, 8.0)))
+        lp = program.solve(relax=True)
+        milp = program.solve(relax=False)
+        assert lp.objective <= milp.objective + 1e-9
+
+
+def _hash_result(result) -> str:
+    payload = {
+        "total": result.total_cost.hex(),
+        "latency": [v.hex() for v in result.latency_cost.tolist()],
+        "load": [v.hex() for v in result.load_cost.tolist()],
+        "running": [v.hex() for v in result.running_cost.tolist()],
+        "migration": [v.hex() for v in result.migration_cost.tolist()],
+        "creation": [v.hex() for v in result.creation_cost.tolist()],
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+_DETERMINISM_SCRIPT = """
+import hashlib, json
+import numpy as np
+import repro.algorithms, repro.workload
+from repro.algorithms.optim import IlpPlacement
+from repro.core.costs import CostModel
+from repro.core.simulator import simulate
+from repro.topology.generators import line
+from repro.workload.commuter import CommuterScenario
+
+substrate = line(5, seed=7, unit_latency=False, latency_range=(5.0, 20.0))
+trace = CommuterScenario(substrate, period=4, sojourn=2).generate(
+    30, np.random.default_rng(3)
+)
+result = simulate(
+    substrate,
+    IlpPlacement(epoch=5, relax={relax}),
+    trace,
+    CostModel.paper_default(),
+    seed=0,
+)
+payload = {{
+    "total": result.total_cost.hex(),
+    "latency": [v.hex() for v in result.latency_cost.tolist()],
+    "load": [v.hex() for v in result.load_cost.tolist()],
+    "running": [v.hex() for v in result.running_cost.tolist()],
+    "migration": [v.hex() for v in result.migration_cost.tolist()],
+    "creation": [v.hex() for v in result.creation_cost.tolist()],
+}}
+print(hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest())
+"""
+
+
+class TestSolverDeterminism:
+    @pytest.mark.parametrize("relax", [False, True])
+    def test_bit_identical_ledger_across_processes(self, relax):
+        """Same spec + seed → the same ledger, down to every float bit,
+        in two fresh interpreter processes (and in this one)."""
+        script = _DETERMINISM_SCRIPT.format(relax=relax)
+        digests = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": _SRC, "PATH": "/usr/bin:/bin"},
+                check=True,
+            )
+            digests.append(proc.stdout.strip())
+        assert digests[0] == digests[1]
+
+        substrate = line(5, seed=7, unit_latency=False,
+                         latency_range=(5.0, 20.0))
+        from repro.workload.commuter import CommuterScenario
+        trace = CommuterScenario(substrate, period=4, sojourn=2).generate(
+            30, np.random.default_rng(3)
+        )
+        result = simulate(
+            substrate,
+            IlpPlacement(epoch=5, relax=relax),
+            trace,
+            CostModel.paper_default(),
+            seed=0,
+        )
+        assert _hash_result(result) == digests[0]
+
+
+class TestBackendPlumbing:
+    def test_backend_names(self):
+        assert set(BACKENDS) == {"scipy", "pulp", "auto"}
+        assert resolve_backend("scipy") == "scipy"
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            resolve_backend("glpk")
+
+    def test_auto_resolution_matches_availability(self):
+        assert resolve_backend("auto") == (
+            "pulp" if have_pulp() else "scipy"
+        )
+
+    @pytest.mark.skipif(have_pulp(), reason="pulp installed: nothing to gate")
+    def test_missing_pulp_raises_graceful_importerror(self):
+        with pytest.raises(ImportError, match=r"pip install .*\[opt\]"):
+            resolve_backend("pulp")
+
+    @pytest.mark.skipif(have_pulp(), reason="pulp installed: nothing to gate")
+    def test_policy_construction_fails_fast_without_pulp(self):
+        with pytest.raises(ImportError, match=r"\[opt\]"):
+            IlpPlacement(backend="pulp")
+
+    @pytest.mark.skipif(have_pulp(), reason="pulp installed: nothing to gate")
+    def test_milp_opt_solve_fails_gracefully_without_pulp(self):
+        """MilpOpt defers the import to solve time; still the same message."""
+        substrate = line(2, seed=0)
+        trace = Trace((np.zeros(1, np.int64),))
+        with pytest.raises(ImportError, match=r"\[opt\]"):
+            MilpOpt.solve(substrate, trace, backend="pulp")
+
+    @pytest.mark.skipif(not have_pulp(), reason="needs the [opt] extra")
+    def test_pulp_agrees_with_scipy(self):
+        """Both backends solve the same program to proven optimality."""
+        model = _random_placement(11, 4, 0b0101)
+        scipy_solution = model.program.solve(backend="scipy")
+        pulp_solution = model.program.solve(backend="pulp")
+        assert pulp_solution.backend == "pulp"
+        assert scipy_solution.objective == pytest.approx(
+            pulp_solution.objective, rel=1e-6
+        )
+        assert model.active_from(scipy_solution.values, relax=False) == \
+            model.active_from(pulp_solution.values, relax=False)
+
+    @pytest.mark.skipif(not have_pulp(), reason="needs the [opt] extra")
+    def test_pulp_milp_opt_matches_scipy_bitwise(self):
+        """MilpOpt replays its plan, so agreeing plans give equal costs."""
+        substrate = line(3, seed=5, unit_latency=False,
+                         latency_range=(5.0, 20.0))
+        rng = np.random.default_rng(5)
+        trace = Trace(tuple(
+            rng.integers(0, 3, size=rng.integers(0, 4)) for _ in range(4)
+        ))
+        scipy_cost, _ = MilpOpt.solve(substrate, trace, backend="scipy")
+        pulp_cost, _ = MilpOpt.solve(substrate, trace, backend="pulp")
+        assert scipy_cost == pulp_cost

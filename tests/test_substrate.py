@@ -199,3 +199,42 @@ class TestCenterAndTopologyQueries:
     def test_neighbors_checks_range(self):
         with pytest.raises(ValueError, match="node"):
             make_path(3).neighbors(9)
+
+
+class TestCapacities:
+    def test_default_is_uncapacitated(self):
+        sub = make_path(4)
+        assert sub.capacities is None
+        assert not sub.capacitated
+
+    def test_scalar_broadcasts(self):
+        links = [Link(i, i + 1, 1.0, 1.544) for i in range(3)]
+        sub = Substrate(4, links, capacities=2.5)
+        assert sub.capacitated
+        np.testing.assert_array_equal(sub.capacities, np.full(4, 2.5))
+
+    def test_vector_shape_checked(self):
+        links = [Link(0, 1, 1.0, 1.544)]
+        with pytest.raises(ValueError, match="capacities"):
+            Substrate(2, links, capacities=np.ones(3))
+
+    def test_capacities_must_be_positive(self):
+        links = [Link(0, 1, 1.0, 1.544)]
+        with pytest.raises(ValueError, match="> 0"):
+            Substrate(2, links, capacities=np.array([1.0, 0.0]))
+
+    def test_capacities_view_is_read_only(self):
+        links = [Link(0, 1, 1.0, 1.544)]
+        sub = Substrate(2, links, capacities=1.0)
+        with pytest.raises(ValueError):
+            sub.capacities[0] = 9.0
+
+    def test_with_capacities_clones_and_shares_distances(self):
+        sub = make_path(5)
+        base = sub.distances  # force the cache
+        capped = sub.with_capacities(3.0)
+        assert capped.capacitated
+        assert not sub.capacitated  # the original is untouched
+        assert capped.distances is base  # cache shared, not recomputed
+        uncapped = capped.with_capacities(None)
+        assert not uncapped.capacitated
